@@ -1,0 +1,338 @@
+//! Feedback-based graph adjustment (paper §3.3).
+//!
+//! "We first identify critical left nodes that were involved in the most
+//! failure sets. […] For the target left node, we find the right node with
+//! the highest failure rate and then change the connectivity of the target
+//! left node to include a different right node that was not involved in the
+//! failures. This opens the closed set that caused the failure and removes
+//! the failure set provided that the substitution did not tie one failure
+//! set to another. After the adjustment has been completed, the adjusted
+//! graph is re-tested."
+//!
+//! [`adjust_graph`] runs that loop to a target first-failure level,
+//! reverting any rewiring that makes things worse and trying the next
+//! candidate. Success is not guaranteed — "the success of the algorithm is
+//! dependent on the graph" — so the outcome reports whether the target was
+//! achieved or the search stalled.
+
+use crate::critical::{check_involvement_counts, critical_sets, involvement_counts};
+use tornado_graph::{Graph, NodeId};
+use tornado_sim::worst_case::{search_level, KLevelResult};
+
+/// Configuration for the adjustment loop.
+#[derive(Clone, Copy, Debug)]
+pub struct AdjustConfig {
+    /// Desired first-failure level: the adjusted graph should survive every
+    /// loss of `target_first_failure − 1` nodes. The paper achieves 5.
+    pub target_first_failure: usize,
+    /// Maximum accepted rewirings before giving up.
+    pub max_iterations: usize,
+    /// Cap on failure sets collected per search level (memory bound).
+    pub collect_cap: usize,
+    /// How many `(target, replacement)` candidates to try per iteration
+    /// before declaring a stall.
+    pub candidate_budget: usize,
+}
+
+impl Default for AdjustConfig {
+    fn default() -> Self {
+        Self {
+            target_first_failure: 5,
+            max_iterations: 64,
+            collect_cap: 1024,
+            candidate_budget: 64,
+        }
+    }
+}
+
+/// One accepted rewiring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdjustmentStep {
+    /// The critical left node whose edge was moved.
+    pub left: NodeId,
+    /// The implicated check it was detached from.
+    pub from_check: NodeId,
+    /// The uninvolved check it was attached to.
+    pub to_check: NodeId,
+    /// Failure count at the first-failure level before the move.
+    pub failures_before: u64,
+    /// Failure count at the same level after the move.
+    pub failures_after: u64,
+}
+
+/// Result of the adjustment loop.
+#[derive(Clone, Debug)]
+pub struct AdjustOutcome {
+    /// The (possibly improved) graph.
+    pub graph: Graph,
+    /// Accepted rewirings, in order.
+    pub steps: Vec<AdjustmentStep>,
+    /// First-failure level of the final graph when searched up to
+    /// `target_first_failure − 1` (`None` means the target was achieved).
+    pub first_failure_below_target: Option<usize>,
+}
+
+impl AdjustOutcome {
+    /// Whether the graph now survives every loss below the target level.
+    pub fn achieved(&self) -> bool {
+        self.first_failure_below_target.is_none()
+    }
+}
+
+/// Finds the current first failure at or below `max_k`; returns the level
+/// result for it.
+fn first_failing_level(graph: &Graph, max_k: usize, collect_cap: usize) -> Option<KLevelResult> {
+    for k in 1..=max_k {
+        let level = search_level(graph, k, collect_cap);
+        if level.failures > 0 {
+            return Some(level);
+        }
+    }
+    None
+}
+
+/// Runs the §3.3 adjustment loop on `graph`.
+pub fn adjust_graph(graph: &Graph, cfg: &AdjustConfig) -> AdjustOutcome {
+    assert!(cfg.target_first_failure >= 2);
+    let below = cfg.target_first_failure - 1;
+    let mut current = graph.clone();
+    let mut steps = Vec::new();
+
+    for _ in 0..cfg.max_iterations {
+        let Some(level) = first_failing_level(&current, below, cfg.collect_cap) else {
+            return AdjustOutcome {
+                graph: current,
+                steps,
+                first_failure_below_target: None,
+            };
+        };
+        match try_one_adjustment(&current, &level, cfg) {
+            Some((next, step)) => {
+                steps.push(step);
+                current = next;
+            }
+            None => {
+                // Stalled: no candidate improves this level.
+                return AdjustOutcome {
+                    graph: current,
+                    steps,
+                    first_failure_below_target: Some(level.k),
+                };
+            }
+        }
+    }
+    let residual = first_failing_level(&current, below, 1).map(|l| l.k);
+    AdjustOutcome {
+        graph: current,
+        steps,
+        first_failure_below_target: residual,
+    }
+}
+
+/// Attempts one accepted rewiring against the failing level. Returns the
+/// improved graph and the step, or `None` if every candidate within budget
+/// made things equal-or-worse.
+fn try_one_adjustment(
+    graph: &Graph,
+    level: &KLevelResult,
+    cfg: &AdjustConfig,
+) -> Option<(Graph, AdjustmentStep)> {
+    let sets = critical_sets(graph, &level.failure_sets);
+    let node_counts = involvement_counts(&sets);
+    let check_counts = check_involvement_counts(&sets);
+    let involved_checks: std::collections::BTreeSet<NodeId> =
+        check_counts.iter().map(|&(c, _)| c).collect();
+
+    let mut budget = cfg.candidate_budget;
+    // Targets: most-involved left nodes first (the paper's heuristic).
+    for &(target, _) in &node_counts {
+        // The target's checks, most-implicated first.
+        let mut target_checks: Vec<NodeId> = graph.checks_of(target).to_vec();
+        target_checks.sort_by_key(|c| {
+            std::cmp::Reverse(
+                check_counts
+                    .iter()
+                    .find(|&&(cc, _)| cc == *c)
+                    .map(|&(_, n)| n)
+                    .unwrap_or(0),
+            )
+        });
+        for &from_check in &target_checks {
+            // Replacements: checks of the same level, uninvolved in any
+            // failure, not already wired to the target, and deeper than it.
+            let level_of = graph.level_of(from_check).clone();
+            for to_check in level_of.nodes() {
+                if to_check == from_check
+                    || involved_checks.contains(&to_check)
+                    || to_check <= target
+                    || graph.check_neighbors(to_check).contains(&target)
+                {
+                    continue;
+                }
+                if budget == 0 {
+                    return None;
+                }
+                budget -= 1;
+
+                let mut builder = graph.to_builder();
+                if !builder.move_edge(target, from_check, to_check) {
+                    continue;
+                }
+                let Ok(candidate) = builder.build() else {
+                    continue;
+                };
+                // Accept only strict improvement with nothing worse below.
+                let mut worse_below = false;
+                for k in 1..level.k {
+                    if search_level(&candidate, k, 1).failures > 0 {
+                        worse_below = true;
+                        break;
+                    }
+                }
+                if worse_below {
+                    continue;
+                }
+                let after = search_level(&candidate, level.k, 1).failures;
+                if after < level.failures {
+                    return Some((
+                        candidate,
+                        AdjustmentStep {
+                            left: target,
+                            from_check,
+                            to_check,
+                            failures_before: level.failures,
+                            failures_after: after,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tornado_gen::{TornadoGenerator, TornadoParams};
+    use tornado_graph::GraphBuilder;
+    use tornado_sim::{worst_case_search, WorstCaseConfig};
+
+    /// A small graph with a planted 2-node defect that one rewiring fixes:
+    /// data 0..6, checks 6..12; nodes 0,1 share checks {6,7} exactly.
+    fn planted_defect() -> Graph {
+        let mut b = GraphBuilder::new(6);
+        b.begin_level("c");
+        b.add_check(&[0, 1]); // 6
+        b.add_check(&[0, 1]); // 7
+        b.add_check(&[2, 3]); // 8
+        b.add_check(&[3, 4]); // 9
+        b.add_check(&[4, 5]); // 10
+        b.add_check(&[5, 2]); // 11
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn repairs_a_planted_pair_defect() {
+        let g = planted_defect();
+        assert_eq!(
+            worst_case_search(&g, &WorstCaseConfig { max_k: 2, ..Default::default() })
+                .first_failure(),
+            Some(2)
+        );
+        let outcome = adjust_graph(&g, &AdjustConfig {
+            target_first_failure: 3,
+            max_iterations: 16,
+            collect_cap: 64,
+            candidate_budget: 128,
+        });
+        assert!(outcome.achieved(), "steps: {:?}", outcome.steps);
+        assert!(!outcome.steps.is_empty());
+        let report = worst_case_search(
+            &outcome.graph,
+            &WorstCaseConfig { max_k: 2, ..Default::default() },
+        );
+        assert_eq!(report.first_failure(), None, "no failures at k ≤ 2");
+        outcome.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn already_good_graph_is_untouched() {
+        let g = planted_defect();
+        let outcome = adjust_graph(&g, &AdjustConfig {
+            target_first_failure: 2, // only requires surviving k = 1
+            ..Default::default()
+        });
+        assert!(outcome.achieved());
+        assert!(outcome.steps.is_empty());
+        assert_eq!(outcome.graph, g);
+    }
+
+    #[test]
+    fn impossible_target_reports_stall() {
+        // A mirrored pair system cannot exceed first failure 2 by rewiring
+        // within its single level of single-neighbour checks.
+        let g = tornado_gen::mirror::generate_mirror(4).unwrap();
+        let outcome = adjust_graph(&g, &AdjustConfig {
+            target_first_failure: 3,
+            max_iterations: 8,
+            collect_cap: 64,
+            candidate_budget: 64,
+        });
+        assert!(!outcome.achieved());
+        assert_eq!(outcome.first_failure_below_target, Some(2));
+    }
+
+    #[test]
+    fn adjusts_a_small_tornado_graph_upward() {
+        // 32-node graphs keep debug-mode search cheap: C(32,3) = 4960.
+        let params = TornadoParams {
+            num_data: 16,
+            ..TornadoParams::default()
+        };
+        // 32-node graphs rarely clear the size-3 screen (the paper also
+        // reports small graphs are the hard case); screen at 2 and let the
+        // adjustment loop do the rest.
+        let (g, _) = TornadoGenerator::new(params)
+            .generate_screened(3, 256, 2)
+            .unwrap();
+        let before = worst_case_search(&g, &WorstCaseConfig { max_k: 3, ..Default::default() })
+            .first_failure();
+        let outcome = adjust_graph(&g, &AdjustConfig {
+            target_first_failure: 4,
+            max_iterations: 32,
+            collect_cap: 256,
+            candidate_budget: 256,
+        });
+        let after = worst_case_search(
+            &outcome.graph,
+            &WorstCaseConfig { max_k: 3, ..Default::default() },
+        )
+        .first_failure();
+        // Either the target was achieved, or the graph is at least no worse.
+        match (before, after) {
+            (Some(b), Some(a)) => assert!(a >= b, "regressed from {b} to {a}"),
+            (Some(_), None) => {}
+            (None, None) => {}
+            (None, Some(a)) => panic!("clean graph regressed to first failure {a}"),
+        }
+        if outcome.achieved() {
+            assert_eq!(after, None);
+        }
+        outcome.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn steps_record_strict_improvement() {
+        let g = planted_defect();
+        let outcome = adjust_graph(&g, &AdjustConfig {
+            target_first_failure: 3,
+            max_iterations: 16,
+            collect_cap: 64,
+            candidate_budget: 128,
+        });
+        for s in &outcome.steps {
+            assert!(s.failures_after < s.failures_before, "step {s:?}");
+        }
+    }
+}

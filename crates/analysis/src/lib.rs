@@ -1,0 +1,39 @@
+//! Reliability modelling, critical-set analysis, and the feedback graph
+//! adjustment procedure.
+//!
+//! * [`reliability`] — composes a measured conditional failure profile with
+//!   the binomial device-failure model (paper §5.1, Eqs. 2–3, Table 5).
+//! * [`critical`] — turns the worst-case search's failing erasure patterns
+//!   into *critical left-node sets* with their closed right-node
+//!   dependencies, the paper's "left node [ right nodes ]" view (§3.2–3.3).
+//! * [`adjust`] — the §3.3 feedback loop: pick the left node implicated in
+//!   the most failure sets, rewire its most-implicated check edge to a
+//!   check outside the failures, re-test, repeat. Takes screened graphs
+//!   from first failure at 4 to first failure at 5.
+//! * [`overhead`] — reconstruction-efficiency metrics (§5.2, Table 6).
+//! * [`incremental`] — the literature's retrieve-until-decodable overhead
+//!   (Plank's metric, which §5.2 contrasts with and §6 plans to study).
+//! * [`lifetime`] — time-stepped reliability with proactive scrub/repair,
+//!   extending Table 5's no-repair model toward the §6 scrubber design.
+//! * [`stopping`] — exact minimum blocking sets by certificate-guided
+//!   branch and bound, an independent cross-check of the brute-force
+//!   worst-case search.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjust;
+pub mod critical;
+pub mod incremental;
+pub mod lifetime;
+pub mod overhead;
+pub mod reliability;
+pub mod stopping;
+
+pub use adjust::{adjust_graph, AdjustConfig, AdjustOutcome, AdjustmentStep};
+pub use critical::{critical_sets, CriticalSet};
+pub use incremental::{incremental_overhead, IncrementalOverhead};
+pub use lifetime::{simulate_graph_lifetime, simulate_lifetime, LifetimeConfig, LifetimeReport};
+pub use stopping::{min_blocking_exact, minimum_distance};
+pub use overhead::{overhead_report, OverheadReport};
+pub use reliability::{system_failure_probability, ReliabilityRow};

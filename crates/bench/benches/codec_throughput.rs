@@ -1,0 +1,45 @@
+//! Encode/decode throughput of the XOR codec (the paper's §2.1 motivation:
+//! Tornado Codes en/decode "in substantially less time than Reed-Solomon").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tornado_codec::Codec;
+
+fn bench_codec(c: &mut Criterion) {
+    let graph = tornado_core::tornado_graph_1();
+    let codec = Codec::new(&graph);
+    let mut group = c.benchmark_group("codec");
+    for &block_len in &[1usize << 10, 1 << 14, 1 << 17] {
+        let data: Vec<Vec<u8>> = (0..48)
+            .map(|i| vec![(i * 37 + 11) as u8; block_len])
+            .collect();
+        let stripe_bytes = (48 * block_len) as u64;
+        group.throughput(Throughput::Bytes(stripe_bytes));
+        group.bench_with_input(
+            BenchmarkId::new("encode", block_len),
+            &data,
+            |b, data| b.iter(|| black_box(codec.encode(black_box(data)).unwrap())),
+        );
+
+        let blocks = codec.encode(&data).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("decode_4_losses", block_len),
+            &blocks,
+            |b, blocks| {
+                b.iter(|| {
+                    let mut stored: Vec<Option<Vec<u8>>> =
+                        blocks.iter().cloned().map(Some).collect();
+                    for lost in [3usize, 17, 48, 95] {
+                        stored[lost] = None;
+                    }
+                    let report = codec.decode(&mut stored).unwrap();
+                    black_box(report.complete())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

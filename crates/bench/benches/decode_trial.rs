@@ -1,0 +1,24 @@
+//! Latency of one availability-only decode trial — the quantum of the
+//! worst-case search and Monte-Carlo suites (§3's 962 M test cases are
+//! exactly this operation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tornado_codec::ErasureDecoder;
+
+fn bench_decode_trial(c: &mut Criterion) {
+    let graph = tornado_core::tornado_graph_1();
+    let mut dec = ErasureDecoder::new(&graph);
+    let mut group = c.benchmark_group("decode_trial");
+    for &k in &[1usize, 4, 16, 48] {
+        // A deterministic spread-out pattern of k losses.
+        let missing: Vec<usize> = (0..k).map(|i| (i * 53) % 96).collect();
+        group.bench_with_input(BenchmarkId::new("erasures", k), &missing, |b, missing| {
+            b.iter(|| black_box(dec.decode(black_box(missing))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode_trial);
+criterion_main!(benches);

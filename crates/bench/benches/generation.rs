@@ -1,0 +1,38 @@
+//! Graph generation and screening cost (§3.1–3.2: generation is cheap; the
+//! expensive part is testing, which is why screened generation retries
+//! freely).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tornado_gen::defects::find_stopping_sets;
+use tornado_gen::{TornadoGenerator, TornadoParams};
+
+fn bench_generation(c: &mut Criterion) {
+    let gen = TornadoGenerator::new(TornadoParams::paper_96());
+    let mut group = c.benchmark_group("generation");
+
+    group.bench_function("generate_96", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(gen.generate(seed).unwrap())
+        })
+    });
+
+    group.bench_function("screen_stopping_sets_3", |b| {
+        let g = gen.generate(1).unwrap();
+        b.iter(|| black_box(find_stopping_sets(&g, 3)))
+    });
+
+    group.bench_function("generate_screened_96", |b| {
+        let mut seed = 1000u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(gen.generate_screened(seed, 256, 3).unwrap().0)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

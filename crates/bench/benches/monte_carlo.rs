@@ -1,0 +1,27 @@
+//! Monte-Carlo trial rate (paper §3: 962,144,153 cases / 34 CPU-days per
+//! graph; this measures trials per second on the same estimator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tornado_sim::monte_carlo::sample_level;
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let graph = tornado_core::tornado_graph_1();
+    let mut group = c.benchmark_group("monte_carlo");
+    group.sample_size(20);
+    let trials = 20_000u64;
+    group.throughput(Throughput::Elements(trials));
+    for &k in &[5usize, 24, 48] {
+        group.bench_with_input(BenchmarkId::new("offline", k), &k, |b, &k| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(sample_level(&graph, k, trials, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_monte_carlo);
+criterion_main!(benches);

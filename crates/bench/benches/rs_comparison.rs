@@ -1,0 +1,70 @@
+//! Tornado vs Reed–Solomon throughput at the same (96, 48) configuration —
+//! the §2.1 claim ("Tornado Codes encode and decode files in substantially
+//! less time than Reed-Solomon codes") made measurable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tornado_codec::{Codec, ReedSolomon};
+
+fn bench_rs_comparison(c: &mut Criterion) {
+    let graph = tornado_core::tornado_graph_1();
+    let tornado = Codec::new(&graph);
+    let rs = ReedSolomon::new(48, 96);
+    let mut group = c.benchmark_group("tornado_vs_rs");
+    group.sample_size(10);
+
+    for &block_len in &[1usize << 12, 1 << 16] {
+        let data: Vec<Vec<u8>> = (0..48)
+            .map(|i| vec![(i * 37 + 11) as u8; block_len])
+            .collect();
+        group.throughput(Throughput::Bytes((48 * block_len) as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("tornado_encode", block_len),
+            &data,
+            |b, data| b.iter(|| black_box(tornado.encode(black_box(data)).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rs_encode", block_len),
+            &data,
+            |b, data| b.iter(|| black_box(rs.encode(black_box(data)).unwrap())),
+        );
+
+        // Decode with 4 losses (the Tornado worst-case tolerance) so the
+        // codes face the same repair job.
+        let t_blocks = tornado.encode(&data).unwrap();
+        let r_blocks = rs.encode(&data).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("tornado_decode_4", block_len),
+            &t_blocks,
+            |b, blocks| {
+                b.iter(|| {
+                    let mut stored: Vec<Option<Vec<u8>>> =
+                        blocks.iter().cloned().map(Some).collect();
+                    for lost in [3usize, 17, 48, 95] {
+                        stored[lost] = None;
+                    }
+                    black_box(tornado.decode(&mut stored).unwrap())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rs_decode_4", block_len),
+            &r_blocks,
+            |b, blocks| {
+                b.iter(|| {
+                    let mut stored: Vec<Option<Vec<u8>>> =
+                        blocks.iter().cloned().map(Some).collect();
+                    for lost in [3usize, 17, 48, 95] {
+                        stored[lost] = None;
+                    }
+                    black_box(rs.decode(&mut stored).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rs_comparison);
+criterion_main!(benches);

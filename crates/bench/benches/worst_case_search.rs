@@ -1,0 +1,24 @@
+//! Rate of the exhaustive worst-case search (paper §3: "the test set
+//! requires only 21 CPU hours" for C(96,1..6); this measures how fast the
+//! rayon-parallel implementation chews the same enumeration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tornado_bitset::combinations::binomial;
+use tornado_sim::worst_case::search_level;
+
+fn bench_worst_case(c: &mut Criterion) {
+    let graph = tornado_core::tornado_graph_1();
+    let mut group = c.benchmark_group("worst_case_search");
+    group.sample_size(10);
+    for &k in &[2usize, 3] {
+        group.throughput(Throughput::Elements(binomial(96, k as u64) as u64));
+        group.bench_with_input(BenchmarkId::new("level", k), &k, |b, &k| {
+            b.iter(|| black_box(search_level(&graph, k, 4).failures))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worst_case);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Runs every experiment in paper order, printing one combined report —
+//! the source of EXPERIMENTS.md's measured columns.
+
+use std::time::Instant;
+use tornado_bench::experiments as exp;
+use tornado_bench::Effort;
+
+/// One experiment: display name and its entry point.
+type Experiment = (&'static str, fn(&Effort) -> String);
+
+fn main() {
+    let effort = Effort::from_env();
+    println!("# Tornado Codes for Archival Storage — full experiment suite");
+    println!("# effort: {effort:?}\n");
+    let experiments: Vec<Experiment> = vec![
+        ("Eq. 1 validation", exp::eq1::run),
+        ("Figure 3 + Table 1", exp::fig3_table1::run),
+        ("Figure 4 + Table 2", exp::fig4_table2::run),
+        ("Figure 5 + Table 3", exp::fig5_table3::run),
+        ("Figure 6 + Table 4", exp::fig6_table4::run),
+        ("Table 5", exp::table5::run),
+        ("Table 6", exp::table6::run),
+        ("Table 7", exp::table7::run),
+        ("Guided retrieval ablation", exp::retrieval::run),
+        ("Degree sweep ablation", exp::degree_sweep::run),
+        ("Incremental overhead (Plank metric)", exp::plank_overhead::run),
+        ("Scrub-interval sweep", exp::scrub_sweep::run),
+        ("Size sweep (Plank regime)", exp::size_sweep::run),
+        ("Federated failure profiles", exp::fed_profile::run),
+    ];
+    for (name, run) in experiments {
+        let t = Instant::now();
+        let report = run(&effort);
+        println!("{report}");
+        println!("# [{name}] completed in {:.1?}\n", t.elapsed());
+    }
+}

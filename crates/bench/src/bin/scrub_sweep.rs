@@ -1,0 +1,7 @@
+//! Regenerates the artefact implemented by
+//! `tornado_bench::experiments::scrub_sweep` (see that module's docs).
+
+fn main() {
+    let effort = tornado_bench::Effort::from_env();
+    print!("{}", tornado_bench::experiments::scrub_sweep::run(&effort));
+}

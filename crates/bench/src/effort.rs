@@ -1,0 +1,75 @@
+//! Experiment fidelity configuration.
+
+/// Fidelity knobs for the experiment suite.
+///
+/// The paper's full suite is 962 million Monte-Carlo cases plus exhaustive
+/// search to `C(96, 6)` — about 34 CPU-days per graph. The estimators here
+/// are identical; only the trial counts differ, so scaling up is purely a
+/// matter of these knobs (see DESIGN.md's substitution table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Effort {
+    /// Monte-Carlo trials per offline-count data point.
+    pub mc_trials: u64,
+    /// Exhaustive worst-case search depth (`k_max`).
+    pub exhaustive_max_k: usize,
+    /// Master seed for all randomised steps.
+    pub seed: u64,
+}
+
+impl Default for Effort {
+    fn default() -> Self {
+        Self {
+            mc_trials: 20_000,
+            exhaustive_max_k: 4,
+            seed: 0x70_52_4E,
+        }
+    }
+}
+
+impl Effort {
+    /// Reads `TORNADO_TRIALS`, `TORNADO_MAX_K`, and `TORNADO_SEED` from the
+    /// environment, falling back to the defaults.
+    pub fn from_env() -> Self {
+        let mut e = Self::default();
+        if let Some(t) = read_env("TORNADO_TRIALS") {
+            e.mc_trials = t;
+        }
+        if let Some(k) = read_env("TORNADO_MAX_K") {
+            e.exhaustive_max_k = k as usize;
+        }
+        if let Some(s) = read_env("TORNADO_SEED") {
+            e.seed = s;
+        }
+        e
+    }
+
+    /// A tiny-effort configuration for unit tests of the harness itself.
+    pub fn smoke() -> Self {
+        Self {
+            mc_trials: 200,
+            exhaustive_max_k: 2,
+            seed: 7,
+        }
+    }
+}
+
+fn read_env(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_laptop_scale() {
+        let e = Effort::default();
+        assert_eq!(e.mc_trials, 20_000);
+        assert_eq!(e.exhaustive_max_k, 4);
+    }
+
+    #[test]
+    fn smoke_is_smaller() {
+        assert!(Effort::smoke().mc_trials < Effort::default().mc_trials);
+    }
+}

@@ -1,0 +1,60 @@
+//! Connectivity trade-off ablation (extends paper §4.3).
+//!
+//! The paper samples fixed cascade degrees 3, 4 and 6; this ablation sweeps
+//! 2–8 to chart the full trade-off it describes: "Increasing the
+//! connectivity initially increases the tolerance to failure … However,
+//! with too much connectivity, right nodes become incapable of assisting
+//! with reconstruction."
+
+use crate::effort::Effort;
+use crate::harness::{first_failure_cell, graph_profile, paper_sampling_window};
+use std::fmt::Write as _;
+use tornado_analysis::overhead_report;
+use tornado_gen::cascaded::generate_fixed_degree_screened;
+use tornado_gen::TornadoParams;
+
+/// Runs the sweep.
+pub fn run(effort: &Effort) -> String {
+    let params = TornadoParams::paper_96();
+    let mut out = String::new();
+    let _ = writeln!(out, "# Degree sweep — fixed-degree cascades, 96 nodes (screened)");
+    let _ = writeln!(
+        out,
+        "degree, first_failure, avg_to_reconstruct, overhead_at_half"
+    );
+    for degree in 2u32..=8 {
+        let g = match generate_fixed_degree_screened(params, degree, effort.seed, 256, 3) {
+            Ok(g) => g,
+            Err(e) => {
+                let _ = writeln!(out, "{degree}, generation failed: {e}");
+                continue;
+            }
+        };
+        let profile = graph_profile(&g, effort);
+        let avg = profile.average_online_given_success(paper_sampling_window(96));
+        let report = overhead_report(&profile, 48);
+        let _ = writeln!(
+            out,
+            "{degree}, {}, {avg:.2}, {:.2}",
+            first_failure_cell(&profile),
+            report.overhead
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_degrees() {
+        let report = run(&Effort::smoke());
+        for degree in 2..=8 {
+            assert!(
+                report.lines().any(|l| l.starts_with(&format!("{degree},"))),
+                "degree {degree} missing:\n{report}"
+            );
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! One module per paper artefact. Every `run` takes an [`crate::Effort`]
+//! and returns the finished report text (also suitable for EXPERIMENTS.md).
+
+pub mod degree_sweep;
+pub mod eq1;
+pub mod fed_profile;
+pub mod fig3_table1;
+pub mod fig4_table2;
+pub mod fig5_table3;
+pub mod fig6_table4;
+pub mod plank_overhead;
+pub mod retrieval;
+pub mod scrub_sweep;
+pub mod size_sweep;
+pub mod table5;
+pub mod table6;
+pub mod table7;

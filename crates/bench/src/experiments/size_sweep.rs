@@ -1,0 +1,76 @@
+//! Graph-size sweep (Plank's finite-size observation, paper §2.1/§3).
+//!
+//! "Plank concludes that LDPC codes demonstrate their least favorable
+//! overhead for graphs containing between 10 and 100 nodes" — which is why
+//! the paper calls its 96-node stripes "an appropriate lower bound". This
+//! sweep measures both overhead metrics across total graph sizes from 32
+//! to 256 nodes; the expected shape is overhead *decreasing* towards the
+//! asymptotic regime as graphs grow.
+
+use crate::effort::Effort;
+use std::fmt::Write as _;
+use tornado_analysis::incremental_overhead;
+use tornado_gen::{TornadoGenerator, TornadoParams};
+
+/// Data-node counts swept (total nodes are double these).
+pub const SIZES: [usize; 5] = [16, 32, 48, 96, 128];
+
+/// Runs the sweep.
+pub fn run(effort: &Effort) -> String {
+    let trials = (effort.mc_trials / 10).clamp(500, 50_000);
+    let mut out = String::new();
+    let _ = writeln!(out, "# Size sweep — incremental overhead vs graph size, {trials} trials");
+    let _ = writeln!(out, "total_nodes, mean_blocks, overhead, min, max");
+    for &num_data in &SIZES {
+        let params = TornadoParams {
+            num_data,
+            ..TornadoParams::default()
+        };
+        let graph = match TornadoGenerator::new(params).generate_screened(effort.seed, 256, 2) {
+            Ok((g, _)) => g,
+            Err(e) => {
+                let _ = writeln!(out, "{}, generation failed: {e}", 2 * num_data);
+                continue;
+            }
+        };
+        let r = incremental_overhead(&graph, trials, effort.seed);
+        let _ = writeln!(
+            out,
+            "{}, {:.2}, {:.4}, {}, {}",
+            graph.num_nodes(),
+            r.mean_blocks,
+            r.mean_overhead,
+            r.min_blocks,
+            r.max_blocks
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_improves_with_size() {
+        let report = run(&Effort::smoke());
+        let overhead = |nodes: usize| -> f64 {
+            report
+                .lines()
+                .find(|l| l.starts_with(&format!("{nodes},")))
+                .and_then(|l| l.split(", ").nth(2))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("row for {nodes} missing:\n{report}"))
+        };
+        // The asymptotic trend: 256-node graphs beat 32-node graphs.
+        assert!(
+            overhead(256) < overhead(32),
+            "{} !< {}",
+            overhead(256),
+            overhead(32)
+        );
+        for &d in &SIZES {
+            assert!(overhead(2 * d) >= 1.0, "overhead below MDS bound at {d}");
+        }
+    }
+}

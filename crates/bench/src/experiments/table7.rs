@@ -1,0 +1,108 @@
+//! Table 7: first failure detected for two-site multi-graph federations
+//! (paper §5.3).
+//!
+//! Paper shape: four-copy mirroring fails at 4 devices; the same Tornado
+//! graph at both sites fails at 2 × its single-site first failure (10);
+//! *complementary* graph pairs push the detected first failure to 17–19
+//! because both sites must lose the same critical data nodes.
+//!
+//! Exactly like the paper, the search is targeted ("First Failure
+//! Detected"): candidates are built from the per-graph critical sets and
+//! verified by joint decoding, so the number is an upper bound on the true
+//! minimum.
+
+use crate::effort::Effort;
+use std::fmt::Write as _;
+use tornado_codec::ErasureDecoder;
+use tornado_gen::mirror::generate_mirror;
+use tornado_sim::multi::{first_failure_detected, FederatedFailure, FederatedSearchConfig, FederatedSystem};
+
+/// One Table 7 row.
+pub struct FederationRow {
+    /// Configuration label.
+    pub label: String,
+    /// The detected joint failure.
+    pub failure: FederatedFailure,
+}
+
+/// Runs the targeted search for every configuration in the paper's table.
+pub fn rows(effort: &Effort) -> Vec<FederationRow> {
+    let cfg = FederatedSearchConfig {
+        seed: effort.seed,
+        rounds_per_node: (effort.mc_trials / 500).clamp(8, 200) as usize,
+        escalation_cap: 24,
+        // Seed with the exhaustively detected critical sets, as the paper
+        // does; depth 5 at default effort (the paper's first-failure level).
+        exhaustive_seed_depth: Some(effort.exhaustive_max_k + 1),
+    };
+    let t1 = tornado_core::tornado_graph_1();
+    let t2 = tornado_core::tornado_graph_2();
+    let t3 = tornado_core::tornado_graph_3();
+    let mirror = generate_mirror(48).expect("mirror generation");
+
+    let configs: Vec<(String, &tornado_graph::Graph, &tornado_graph::Graph)> = vec![
+        ("Mirrored (4 copies)".into(), &mirror, &mirror),
+        ("Tornado 1 + Tornado 1".into(), &t1, &t1),
+        ("Tornado 1 + Tornado 2".into(), &t1, &t2),
+        ("Tornado 1 + Tornado 3".into(), &t1, &t3),
+        ("Tornado 2 + Tornado 3".into(), &t2, &t3),
+    ];
+    configs
+        .into_iter()
+        .map(|(label, a, b)| {
+            let failure = first_failure_detected(a, b, &cfg);
+            // Verify the detected failure is genuine before reporting it.
+            let fed = FederatedSystem::new(a, b);
+            let mut dec = ErasureDecoder::new(fed.graph());
+            assert!(
+                !dec.decode(&failure.devices),
+                "{label}: reported failure actually decodes"
+            );
+            FederationRow { label, failure }
+        })
+        .collect()
+}
+
+/// Runs the experiment and renders the table.
+pub fn run(effort: &Effort) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Table 7 — federated multi-graph first failure detected");
+    let _ = writeln!(out, "{:<24} {:>22}", "System", "First Failure Detected");
+    for row in rows(effort) {
+        let _ = writeln!(out, "{:<24} {:>22}", row.label, row.failure.size());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrored_federation_detects_four() {
+        let cfg = FederatedSearchConfig {
+            seed: 3,
+            rounds_per_node: 4,
+            escalation_cap: 8,
+            exhaustive_seed_depth: Some(2),
+        };
+        let mirror = generate_mirror(48).unwrap();
+        let f = first_failure_detected(&mirror, &mirror, &cfg);
+        assert_eq!(f.size(), 4, "four copies of one block");
+    }
+
+    #[test]
+    fn identical_tornado_pair_doubles_and_verifies() {
+        // Use small mirrors as a fast stand-in for the doubling law; the
+        // full Tornado rows run in the release experiment binary.
+        let cfg = FederatedSearchConfig {
+            seed: 5,
+            rounds_per_node: 8,
+            escalation_cap: 8,
+            exhaustive_seed_depth: Some(2),
+        };
+        let m = generate_mirror(6).unwrap();
+        let f = first_failure_detected(&m, &m, &cfg);
+        assert_eq!(f.size(), 4, "2 (single-site pair) x 2 sites");
+    }
+}

@@ -1,0 +1,142 @@
+//! Shared measurement and report-formatting helpers.
+
+use crate::effort::Effort;
+use std::fmt::Write as _;
+use tornado_graph::Graph;
+use tornado_sim::{
+    monte_carlo_profile, worst_case_search, FailureProfile, MonteCarloConfig, WorstCaseConfig,
+};
+
+/// Builds the paper's hybrid profile for a graph: exhaustive counts for
+/// `k ≤ exhaustive_max_k`, Monte-Carlo for every larger `k`.
+pub fn graph_profile(graph: &Graph, effort: &Effort) -> FailureProfile {
+    let report = worst_case_search(
+        graph,
+        &WorstCaseConfig {
+            max_k: effort.exhaustive_max_k,
+            collect_cap: 64,
+            stop_at_first_failure: false,
+        },
+    );
+    let mut profile = report.to_profile(graph.num_nodes());
+    let ks: Vec<usize> = (effort.exhaustive_max_k + 1..=graph.num_nodes()).collect();
+    profile.merge(&monte_carlo_profile(
+        graph,
+        &MonteCarloConfig {
+            trials_per_k: effort.mc_trials,
+            seed: effort.seed,
+            ks: Some(ks),
+        },
+    ));
+    profile
+}
+
+/// The worst-case failure cell for the paper's tables: the first
+/// exhaustively certified failing level, or `">D"` when all exact levels
+/// (depth `D`) are clean — sampled rows cannot resolve the ~10⁻⁷ failure
+/// fractions the worst-case column is about.
+pub fn first_failure_cell(profile: &FailureProfile) -> String {
+    match profile.first_failure_exact() {
+        Some(k) => k.to_string(),
+        None => format!(">{}", profile.max_exact_k()),
+    }
+}
+
+/// One labelled system in a figure/table.
+pub struct SystemRow {
+    /// Display label.
+    pub label: String,
+    /// Its failure profile.
+    pub profile: FailureProfile,
+    /// Data nodes (for overhead normalisation).
+    pub num_data: usize,
+}
+
+/// Renders a Fig. 3/4/5/6-style series block: for each system, the fraction
+/// of failed reconstructions by number of missing nodes (CSV-ish, one
+/// series per system).
+pub fn render_figure(title: &str, rows: &[SystemRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(out, "# series: k, fraction_failed (one block per system)");
+    for row in rows {
+        let _ = writeln!(out, "## {}", row.label);
+        for e in row.profile.entries() {
+            if e.k > 0 && e.trials > 0 {
+                // Scientific notation: exact rows resolve fractions down to
+                // ~10⁻⁸ (13 failures in 61 M cases must not print as zero).
+                let _ = writeln!(out, "{}, {:.4e}", e.k, e.fraction());
+            }
+        }
+    }
+    out
+}
+
+/// The paper's Monte-Carlo sampling window for 96-node systems: offline
+/// counts from 5 (above the exhaustively searched worst-case regime) to 48
+/// (half the devices). Scaled proportionally for other sizes.
+pub fn paper_sampling_window(num_nodes: usize) -> std::ops::RangeInclusive<usize> {
+    let lo = (num_nodes * 5 / 96).max(1);
+    let hi = (num_nodes / 2).max(lo);
+    lo..=hi
+}
+
+/// Renders a Table 1/2/3/4-style summary: first failure and the paper's
+/// "average number of nodes capable of reconstructing the data" (mean
+/// online nodes over successful trials in the sampling window), with the
+/// ratio to the data-node count in parentheses, as the paper prints it.
+pub fn render_summary_table(title: &str, rows: &[SystemRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(out, "{:<36} {:>13} {:>24}", "System", "First Failure", "Avg to Reconstruct");
+    for row in rows {
+        let avg = row
+            .profile
+            .average_online_given_success(paper_sampling_window(row.profile.num_nodes()));
+        let _ = writeln!(
+            out,
+            "{:<36} {:>13} {:>17.2} ({:.2})",
+            row.label,
+            first_failure_cell(&row.profile),
+            avg,
+            avg / row.num_data as f64,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tornado_gen::mirror::generate_mirror;
+
+    #[test]
+    fn graph_profile_combines_exact_and_sampled_rows() {
+        let g = generate_mirror(4).unwrap();
+        let p = graph_profile(&g, &Effort::smoke());
+        assert!(p.entry(1).exact);
+        assert!(p.entry(2).exact);
+        assert!(!p.entry(3).exact);
+        assert_eq!(p.entry(3).trials, 200);
+        assert_eq!(p.first_failure(), Some(2));
+    }
+
+    #[test]
+    fn figure_and_table_render() {
+        let g = generate_mirror(4).unwrap();
+        let p = graph_profile(&g, &Effort::smoke());
+        let rows = vec![SystemRow {
+            label: "Mirrored".into(),
+            profile: p,
+            num_data: 4,
+        }];
+        let fig = render_figure("Figure X", &rows);
+        assert!(fig.contains("# Figure X"));
+        assert!(fig.contains("## Mirrored"));
+        assert!(fig.lines().count() > 8);
+        let table = render_summary_table("Table X", &rows);
+        assert!(table.contains("Mirrored"));
+        assert!(table.contains("First Failure"));
+        assert!(table.contains('2'), "mirror first failure");
+    }
+}

@@ -1,0 +1,430 @@
+//! Stack-allocated, const-generic bit sets.
+//!
+//! [`FixedBitSet<W>`] stores `64 * W` bits in an array of `u64` words. It is
+//! `Copy`, allocation-free, and every operation is branch-light word
+//! arithmetic — exactly what the erasure simulator's inner loop needs.
+
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not, Sub, SubAssign};
+
+/// A fixed-capacity bit set backed by `W` 64-bit words (capacity `64 * W` bits).
+///
+/// Bits are indexed from zero. Out-of-range indices panic in debug builds via
+/// the usual slice checks.
+///
+/// ```
+/// use tornado_bitset::Bits128;
+/// let mut s = Bits128::empty();
+/// s.insert(3);
+/// s.insert(95);
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(95));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 95]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FixedBitSet<const W: usize> {
+    words: [u64; W],
+}
+
+impl<const W: usize> Default for FixedBitSet<W> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+/// One-word bit set (up to 64 elements).
+pub type Bits64 = FixedBitSet<1>;
+/// Two-word bit set (up to 128 elements) — covers the paper's 96-node graphs.
+pub type Bits128 = FixedBitSet<2>;
+/// Four-word bit set (up to 256 elements) — covers two-site federated systems.
+pub type Bits256 = FixedBitSet<4>;
+
+impl<const W: usize> FixedBitSet<W> {
+    /// Total bit capacity of this set.
+    pub const CAPACITY: usize = 64 * W;
+
+    /// Creates an empty set.
+    #[inline]
+    pub const fn empty() -> Self {
+        Self { words: [0; W] }
+    }
+
+    /// Creates a set containing every index in `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n > Self::CAPACITY`.
+    #[inline]
+    pub fn all_below(n: usize) -> Self {
+        assert!(n <= Self::CAPACITY, "n = {n} exceeds capacity {}", Self::CAPACITY);
+        let mut words = [0u64; W];
+        let full = n / 64;
+        for w in words.iter_mut().take(full) {
+            *w = u64::MAX;
+        }
+        let rem = n % 64;
+        if rem != 0 {
+            words[full] = (1u64 << rem) - 1;
+        }
+        Self { words }
+    }
+
+    /// Creates a set from an iterator of indices.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(indices: I) -> Self {
+        let mut s = Self::empty();
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Inserts `bit` into the set. Returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, bit: usize) -> bool {
+        let (w, m) = (bit / 64, 1u64 << (bit % 64));
+        let was = self.words[w] & m != 0;
+        self.words[w] |= m;
+        !was
+    }
+
+    /// Removes `bit` from the set. Returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, bit: usize) -> bool {
+        let (w, m) = (bit / 64, 1u64 << (bit % 64));
+        let was = self.words[w] & m != 0;
+        self.words[w] &= !m;
+        was
+    }
+
+    /// Tests membership.
+    #[inline]
+    pub fn contains(&self, bit: usize) -> bool {
+        self.words[bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Number of elements in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words = [0; W];
+    }
+
+    /// Whether `self` is a subset of `other`.
+    #[inline]
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether `self` is a superset of `other`.
+    #[inline]
+    pub fn is_superset(&self, other: &Self) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Whether the two sets share no elements.
+    #[inline]
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// Number of elements common to both sets.
+    #[inline]
+    pub fn intersection_len(&self, other: &Self) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Smallest element, or `None` if empty.
+    #[inline]
+    pub fn min_element(&self) -> Option<usize> {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(i * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Largest element, or `None` if empty.
+    #[inline]
+    pub fn max_element(&self) -> Option<usize> {
+        for (i, &w) in self.words.iter().enumerate().rev() {
+            if w != 0 {
+                return Some(i * 64 + 63 - w.leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterates over the elements in ascending order.
+    #[inline]
+    pub fn iter(&self) -> FixedBitIter<W> {
+        FixedBitIter {
+            words: self.words,
+            word_idx: 0,
+        }
+    }
+
+    /// Collects the elements into a vector, ascending.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// Access to the raw words (low word first).
+    #[inline]
+    pub fn words(&self) -> &[u64; W] {
+        &self.words
+    }
+
+    /// Builds a set directly from raw words.
+    #[inline]
+    pub const fn from_words(words: [u64; W]) -> Self {
+        Self { words }
+    }
+}
+
+/// Iterator over set bits of a [`FixedBitSet`], ascending.
+#[derive(Clone)]
+pub struct FixedBitIter<const W: usize> {
+    words: [u64; W],
+    word_idx: usize,
+}
+
+impl<const W: usize> Iterator for FixedBitIter<W> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.word_idx < W {
+            let w = self.words[self.word_idx];
+            if w != 0 {
+                let tz = w.trailing_zeros() as usize;
+                self.words[self.word_idx] = w & (w - 1);
+                return Some(self.word_idx * 64 + tz);
+            }
+            self.word_idx += 1;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n: usize = self.words[self.word_idx.min(W - 1)..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        (n, Some(n))
+    }
+}
+
+impl<const W: usize> IntoIterator for &FixedBitSet<W> {
+    type Item = usize;
+    type IntoIter = FixedBitIter<W>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<const W: usize> FromIterator<usize> for FixedBitSet<W> {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        Self::from_indices(iter)
+    }
+}
+
+impl<const W: usize> fmt::Debug for FixedBitSet<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+macro_rules! impl_bitops {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $op:tt) => {
+        // The macro instantiates &, |, ^ uniformly; clippy flags the ^ arm
+        // as "suspicious use in BitAnd/BitOr impl" because it cannot see
+        // the generic operator token.
+        #[allow(clippy::suspicious_arithmetic_impl, clippy::assign_op_pattern)]
+        impl<const W: usize> $trait for FixedBitSet<W> {
+            type Output = Self;
+            #[inline]
+            fn $method(mut self, rhs: Self) -> Self {
+                for i in 0..W {
+                    self.words[i] = self.words[i] $op rhs.words[i];
+                }
+                self
+            }
+        }
+        #[allow(clippy::suspicious_op_assign_impl)]
+        impl<const W: usize> $assign_trait for FixedBitSet<W> {
+            #[inline]
+            fn $assign_method(&mut self, rhs: Self) {
+                for i in 0..W {
+                    self.words[i] = self.words[i] $op rhs.words[i];
+                }
+            }
+        }
+    };
+}
+
+impl_bitops!(BitAnd, bitand, BitAndAssign, bitand_assign, &);
+impl_bitops!(BitOr, bitor, BitOrAssign, bitor_assign, |);
+impl_bitops!(BitXor, bitxor, BitXorAssign, bitxor_assign, ^);
+
+impl<const W: usize> Sub for FixedBitSet<W> {
+    type Output = Self;
+    /// Set difference: elements of `self` not in `rhs`.
+    #[inline]
+    fn sub(mut self, rhs: Self) -> Self {
+        for i in 0..W {
+            self.words[i] &= !rhs.words[i];
+        }
+        self
+    }
+}
+
+impl<const W: usize> SubAssign for FixedBitSet<W> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        for i in 0..W {
+            self.words[i] &= !rhs.words[i];
+        }
+    }
+}
+
+impl<const W: usize> Not for FixedBitSet<W> {
+    type Output = Self;
+    /// Complement over the full `64 * W`-bit capacity.
+    #[inline]
+    fn not(mut self) -> Self {
+        for w in self.words.iter_mut() {
+            *w = !*w;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_members() {
+        let s = Bits128::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.min_element(), None);
+        assert_eq!(s.max_element(), None);
+        assert!((0..128).all(|i| !s.contains(i)));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = Bits128::empty();
+        assert!(s.insert(5));
+        assert!(!s.insert(5), "second insert reports already-present");
+        assert!(s.contains(5));
+        assert!(s.remove(5));
+        assert!(!s.remove(5), "second remove reports already-absent");
+        assert!(!s.contains(5));
+    }
+
+    #[test]
+    fn all_below_boundaries() {
+        assert_eq!(Bits128::all_below(0).len(), 0);
+        assert_eq!(Bits128::all_below(1).to_vec(), vec![0]);
+        assert_eq!(Bits128::all_below(64).len(), 64);
+        assert_eq!(Bits128::all_below(65).len(), 65);
+        assert_eq!(Bits128::all_below(96).len(), 96);
+        assert_eq!(Bits128::all_below(128).len(), 128);
+        assert_eq!(Bits128::all_below(96).max_element(), Some(95));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn all_below_overflow_panics() {
+        let _ = Bits128::all_below(129);
+    }
+
+    #[test]
+    fn iteration_is_ascending_across_words() {
+        let s = Bits128::from_indices([95, 0, 63, 64, 3]);
+        assert_eq!(s.to_vec(), vec![0, 3, 63, 64, 95]);
+        assert_eq!(s.min_element(), Some(0));
+        assert_eq!(s.max_element(), Some(95));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = Bits128::from_indices([1, 2, 3, 70]);
+        let b = Bits128::from_indices([3, 4, 70, 71]);
+        assert_eq!((a | b).to_vec(), vec![1, 2, 3, 4, 70, 71]);
+        assert_eq!((a & b).to_vec(), vec![3, 70]);
+        assert_eq!((a ^ b).to_vec(), vec![1, 2, 4, 71]);
+        assert_eq!((a - b).to_vec(), vec![1, 2]);
+        assert_eq!(a.intersection_len(&b), 2);
+        assert!(!a.is_disjoint(&b));
+        assert!((a - b).is_disjoint(&b));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let small = Bits128::from_indices([2, 70]);
+        let big = Bits128::from_indices([1, 2, 70, 100]);
+        assert!(small.is_subset(&big));
+        assert!(big.is_superset(&small));
+        assert!(!big.is_subset(&small));
+        assert!(small.is_subset(&small));
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        let a = Bits128::from_indices([0, 17, 64, 127]);
+        assert_eq!(!!a, a);
+        assert_eq!((!a).len(), 128 - a.len());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: Bits128 = vec![9, 8, 7].into_iter().collect();
+        assert_eq!(s.to_vec(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn debug_format_lists_members() {
+        let s = Bits64::from_indices([1, 5]);
+        assert_eq!(format!("{s:?}"), "{1, 5}");
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let s = Bits128::from_indices([0, 64, 127]);
+        let t = Bits128::from_words(*s.words());
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn bits256_spans_192_devices() {
+        let mut s = Bits256::empty();
+        s.insert(191);
+        s.insert(0);
+        assert_eq!(s.to_vec(), vec![0, 191]);
+        assert_eq!(Bits256::all_below(192).len(), 192);
+    }
+}

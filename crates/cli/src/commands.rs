@@ -1,0 +1,371 @@
+//! Command implementations.
+
+use crate::args::ParsedArgs;
+use tornado_analysis::{adjust_graph, overhead_report, system_failure_probability, AdjustConfig};
+use tornado_gen::{TornadoGenerator, TornadoParams};
+use tornado_graph::{dot, graphml, DegreeStats, Graph};
+use tornado_raid::GroupSystem;
+use tornado_sim::{monte_carlo_profile, worst_case_search, MonteCarloConfig, WorstCaseConfig};
+
+type CmdResult = Result<(), String>;
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let xml = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    graphml::from_graphml(&xml).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write_or_print(out: Option<&str>, content: &str) -> CmdResult {
+    match out {
+        Some(path) => std::fs::write(path, content).map_err(|e| format!("{path}: {e}")),
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+/// `tornado generate`
+pub fn generate(args: &ParsedArgs) -> CmdResult {
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let num_data: usize = args.get_parsed("data", 48)?;
+    let screen: usize = args.get_parsed("screen", 3)?;
+    let family = args.get("family").unwrap_or("tornado");
+    let degree: u32 = args.get_parsed("degree", 4)?;
+    let params = TornadoParams {
+        num_data,
+        ..TornadoParams::default()
+    };
+    let graph = match family {
+        "tornado" => {
+            if args.flag("no-screen") {
+                TornadoGenerator::new(params).generate(seed).map_err(|e| e.to_string())?
+            } else {
+                TornadoGenerator::new(params)
+                    .generate_screened(seed, 256, screen)
+                    .map_err(|e| e.to_string())?
+                    .0
+            }
+        }
+        "regular" => tornado_gen::regular::generate_regular(num_data, degree, seed)
+            .map_err(|e| e.to_string())?,
+        "cascaded" => tornado_gen::cascaded::generate_fixed_degree(params, degree, seed)
+            .map_err(|e| e.to_string())?,
+        "mirror" => tornado_gen::mirror::generate_mirror(num_data).map_err(|e| e.to_string())?,
+        "doubled" => tornado_gen::altered::generate_doubled(params, seed).map_err(|e| e.to_string())?,
+        "shifted" => tornado_gen::altered::generate_shifted(params, seed).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown family '{other}'")),
+    };
+    eprintln!(
+        "generated {} ({} nodes, {} edges, fingerprint {:#018x})",
+        family,
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.fingerprint()
+    );
+    write_or_print(args.get("out"), &graphml::to_graphml(&graph))
+}
+
+/// `tornado catalog`
+pub fn catalog(args: &ParsedArgs) -> CmdResult {
+    let index: usize = args.get_parsed("index", 1)?;
+    let graph = match index {
+        1 => tornado_core::tornado_graph_1(),
+        2 => tornado_core::tornado_graph_2(),
+        3 => tornado_core::tornado_graph_3(),
+        other => return Err(format!("catalog index {other} (valid: 1, 2, 3)")),
+    };
+    write_or_print(args.get("out"), &graphml::to_graphml(&graph))
+}
+
+/// `tornado inspect`
+pub fn inspect(args: &ParsedArgs) -> CmdResult {
+    let graph = load_graph(args.require("graph")?)?;
+    let stats = DegreeStats::of(&graph);
+    println!("nodes:        {} ({} data + {} check)", graph.num_nodes(), graph.num_data(), graph.num_checks());
+    println!("edges:        {}", graph.num_edges());
+    println!("fingerprint:  {:#018x}", graph.fingerprint());
+    let shape: Vec<String> = graph
+        .levels()
+        .iter()
+        .map(|l| format!("{}({})", l.label, l.len()))
+        .collect();
+    println!("levels:       {}", shape.join(" -> "));
+    println!("mean degree:  {:.2} per node (2E/N)", stats.mean_degree_per_node);
+    println!("edges/node:   {:.2} (paper's 'average degree')", graph.num_edges() as f64 / graph.num_nodes() as f64);
+    println!(
+        "check degree: min {} max {}",
+        stats.check_degree_range.0, stats.check_degree_range.1
+    );
+    if stats.unprotected_data_nodes > 0 {
+        println!("WARNING: {} unprotected data node(s)", stats.unprotected_data_nodes);
+    }
+    let defects = tornado_gen::defects::find_stopping_sets(&graph, 3);
+    if defects.is_empty() {
+        println!("screen:       no stopping sets of size <= 3");
+    } else {
+        println!("screen:       DEFECTIVE — stopping sets: {defects:?}");
+    }
+    Ok(())
+}
+
+/// `tornado dot`
+pub fn dot(args: &ParsedArgs) -> CmdResult {
+    let graph = load_graph(args.require("graph")?)?;
+    write_or_print(args.get("out"), &dot::to_dot(&graph))
+}
+
+/// `tornado test`
+pub fn test(args: &ParsedArgs) -> CmdResult {
+    let graph = load_graph(args.require("graph")?)?;
+    let max_k: usize = args.get_parsed("max-k", 4)?;
+    let report = worst_case_search(
+        &graph,
+        &WorstCaseConfig {
+            max_k,
+            collect_cap: 16,
+            stop_at_first_failure: false,
+        },
+    );
+    println!("k, cases, failures, fraction");
+    for l in &report.levels {
+        println!(
+            "{}, {}, {}, {:.3e}",
+            l.k,
+            l.cases,
+            l.failures,
+            l.failures as f64 / l.cases as f64
+        );
+    }
+    match report.first_failure() {
+        Some(k) => {
+            println!("first failure: {k} lost nodes");
+            for s in report.levels[k - 1].failure_sets.iter().take(8) {
+                println!("  failure set: {s:?}");
+            }
+        }
+        None => println!("first failure: none up to k = {max_k}"),
+    }
+    Ok(())
+}
+
+/// `tornado profile`
+pub fn profile(args: &ParsedArgs) -> CmdResult {
+    let graph = load_graph(args.require("graph")?)?;
+    let trials: u64 = args.get_parsed("trials", 20_000)?;
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let profile = monte_carlo_profile(
+        &graph,
+        &MonteCarloConfig {
+            trials_per_k: trials,
+            seed,
+            ks: None,
+        },
+    );
+    println!("k, trials, failures, fraction");
+    for e in profile.entries() {
+        if e.trials > 0 {
+            println!("{}, {}, {}, {:.6}", e.k, e.trials, e.failures, e.fraction());
+        }
+    }
+    let report = overhead_report(&profile, graph.num_data());
+    println!("nodes for 50% reconstruction: {}", report.nodes_for_half);
+    println!("overhead: {:.2}", report.overhead);
+    println!(
+        "average nodes to reconstruct: {:.2} ({:.2})",
+        report.average_to_reconstruct, report.average_overhead
+    );
+    Ok(())
+}
+
+/// `tornado adjust`
+pub fn adjust(args: &ParsedArgs) -> CmdResult {
+    let graph = load_graph(args.require("graph")?)?;
+    let target: usize = args.get_parsed("target", 5)?;
+    let outcome = adjust_graph(
+        &graph,
+        &AdjustConfig {
+            target_first_failure: target,
+            ..AdjustConfig::default()
+        },
+    );
+    for s in &outcome.steps {
+        println!(
+            "moved left {} from check {} to check {} (failures {} -> {})",
+            s.left, s.from_check, s.to_check, s.failures_before, s.failures_after
+        );
+    }
+    match outcome.first_failure_below_target {
+        None => println!("target achieved: survives any {} losses", target - 1),
+        Some(k) => println!("stalled: still fails at k = {k}"),
+    }
+    write_or_print(args.get("out"), &graphml::to_graphml(&outcome.graph))
+}
+
+/// `tornado reliability`
+pub fn reliability(args: &ParsedArgs) -> CmdResult {
+    let afr: f64 = args.get_parsed("afr", 0.01)?;
+    let trials: u64 = args.get_parsed("trials", 20_000)?;
+    println!("system, data, parity, p_fail");
+    println!("Individual Disk, 96, 0, {afr:.5}");
+    println!(
+        "Striping, 96, 0, {:.5}",
+        tornado_analysis::reliability::striping_failure_probability(96, afr)
+    );
+    for (name, sys) in [
+        ("RAID5", GroupSystem::raid5_paper()),
+        ("RAID6", GroupSystem::raid6_paper()),
+    ] {
+        println!(
+            "{name}, {}, {}, {:.5}",
+            sys.data_devices(),
+            sys.parity_devices(),
+            system_failure_probability(&sys.profile(), afr)
+        );
+    }
+    println!(
+        "Mirrored, 48, 48, {:.5}",
+        system_failure_probability(&tornado_raid::mirrored_profile(48), afr)
+    );
+    for path in args.get_all("graph") {
+        let graph = load_graph(path)?;
+        let mut profile = worst_case_search(
+            &graph,
+            &WorstCaseConfig {
+                max_k: 4,
+                collect_cap: 4,
+                stop_at_first_failure: false,
+            },
+        )
+        .to_profile(graph.num_nodes());
+        profile.merge(&monte_carlo_profile(
+            &graph,
+            &MonteCarloConfig {
+                trials_per_k: trials,
+                seed: 1,
+                ks: Some((5..=graph.num_nodes()).collect()),
+            },
+        ));
+        println!(
+            "{path}, {}, {}, {:.3e}",
+            graph.num_data(),
+            graph.num_checks(),
+            system_failure_probability(&profile, afr)
+        );
+    }
+    Ok(())
+}
+
+/// `tornado demo`
+pub fn demo(args: &ParsedArgs) -> CmdResult {
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let params = TornadoParams {
+        num_data: 16,
+        ..TornadoParams::default()
+    };
+    let graph = TornadoGenerator::new(params)
+        .generate_screened(seed, 256, 2)
+        .map_err(|e| e.to_string())?
+        .0;
+    let store = tornado_store::ArchivalStore::new(graph);
+    println!("created a {}-device archival store", store.num_devices());
+    let id = store
+        .put("demo-object", b"the archival payload survives device failures")
+        .map_err(|e| e.to_string())?;
+    println!("stored object {id}");
+    store.fail_device(0).map_err(|e| e.to_string())?;
+    store.fail_device(7).map_err(|e| e.to_string())?;
+    println!("failed devices 0 and 7");
+    let (payload, fetched) = store.get_with_stats(id).map_err(|e| e.to_string())?;
+    println!(
+        "recovered {} bytes by fetching {fetched}/{} blocks: {:?}",
+        payload.len(),
+        store.num_devices(),
+        String::from_utf8_lossy(&payload)
+    );
+    let scrubbed = tornado_store::scrubber::scrub(&store, 3, true);
+    println!(
+        "scrub: {} degraded stripe(s), {} block(s) repaired",
+        scrubbed.degraded_count(),
+        scrubbed.blocks_repaired
+    );
+    Ok(())
+}
+
+/// `tornado mindist`
+pub fn mindist(args: &ParsedArgs) -> CmdResult {
+    let graph = load_graph(args.require("graph")?)?;
+    let cap: usize = args.get_parsed("cap", 5)?;
+    match tornado_analysis::minimum_distance(&graph, cap) {
+        Some((dist, witness)) => {
+            println!("minimum blocking distance: {dist}");
+            println!("witness erasure set: {witness:?}");
+        }
+        None => println!("no blocking set of size <= {cap}: the graph survives any {cap} losses"),
+    }
+    Ok(())
+}
+
+/// `tornado incremental`
+pub fn incremental(args: &ParsedArgs) -> CmdResult {
+    let graph = load_graph(args.require("graph")?)?;
+    let trials: u64 = args.get_parsed("trials", 2_000)?;
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let r = tornado_analysis::incremental_overhead(&graph, trials, seed);
+    println!("trials: {}", r.trials);
+    println!("mean blocks to reconstruct: {:.2}", r.mean_blocks);
+    println!("overhead (vs {} data blocks): {:.4}", graph.num_data(), r.mean_overhead);
+    println!("range: {}..={}", r.min_blocks, r.max_blocks);
+    Ok(())
+}
+
+/// `tornado lifetime`
+pub fn lifetime(args: &ParsedArgs) -> CmdResult {
+    let graph = load_graph(args.require("graph")?)?;
+    let afr: f64 = args.get_parsed("afr", 0.01)?;
+    let scrubs: usize = args.get_parsed("scrubs", 0)?;
+    let trials: u64 = args.get_parsed("trials", 100_000)?;
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let cfg = tornado_analysis::LifetimeConfig {
+        devices: graph.num_nodes(),
+        afr,
+        scrubs,
+        years: 1.0,
+        trials,
+        seed,
+    };
+    let r = tornado_analysis::simulate_graph_lifetime(&graph, &cfg);
+    println!(
+        "annual P(data loss) with {scrubs} scrub(s)/year at AFR {afr}: {:.3e} ({}/{} trials)",
+        r.loss_probability(),
+        r.losses,
+        r.trials
+    );
+    Ok(())
+}
+
+/// `tornado workload`
+pub fn workload(args: &ParsedArgs) -> CmdResult {
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let objects: usize = args.get_parsed("objects", 20)?;
+    let reads: usize = args.get_parsed("reads", 100)?;
+    let graph = tornado_core::tornado_graph_1();
+    let store = tornado_store::ArchivalStore::new(graph);
+    let cfg = tornado_store::WorkloadConfig {
+        objects,
+        reads,
+        seed,
+        ..Default::default()
+    };
+    let events = tornado_store::generate_events(&cfg, store.num_devices());
+    let report = tornado_store::replay(&store, &events).map_err(|e| e.to_string())?;
+    println!("reads ok/failed: {}/{}", report.reads_ok, report.reads_failed);
+    println!("bytes ingested/served: {}/{}", report.bytes_ingested, report.bytes_served);
+    println!(
+        "blocks fetched vs naive: {}/{} ({:.0}% activations saved)",
+        report.blocks_fetched,
+        report.blocks_naive,
+        100.0 * report.activation_savings()
+    );
+    println!("blocks repaired by scrubs: {}", report.blocks_repaired);
+    Ok(())
+}

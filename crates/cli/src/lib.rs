@@ -1,0 +1,59 @@
+//! `tornado` CLI implementation (library side, for testability).
+//!
+//! The binary in `main.rs` is a thin wrapper over [`run_command`].
+
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::ParsedArgs;
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+tornado — Tornado Code graphs for archival storage (HPDC 2006 reproduction)
+
+USAGE:
+    tornado <COMMAND> [OPTIONS]
+
+COMMANDS:
+    generate     Generate a Tornado graph           --seed N [--data 48] [--screen 3]
+                                                    [--family tornado|regular|cascaded|mirror|doubled|shifted]
+                                                    [--degree D] [--out FILE]
+    catalog      Dump a certified catalog graph     --index 1|2|3 [--out FILE]
+    inspect      Show structure and degree stats    --graph FILE
+    dot          Export Graphviz DOT                --graph FILE [--out FILE]
+    test         Exhaustive worst-case search       --graph FILE [--max-k 4]
+    profile      Monte-Carlo failure profile        --graph FILE [--trials 20000] [--seed N]
+    adjust       Feedback adjustment (§3.3)         --graph FILE [--target 5] [--out FILE]
+    reliability  Table 5 reliability comparison     [--graph FILE]... [--afr 0.01] [--trials 20000]
+    demo         Archival store walkthrough         [--seed N]
+    mindist      Exact minimum blocking distance     --graph FILE [--cap 5]
+    incremental  Retrieve-until-decodable overhead   --graph FILE [--trials 2000]
+    lifetime     Annual loss with scrub/repair       --graph FILE [--afr 0.01]
+                                                     [--scrubs 0] [--trials 100000]
+    workload     Synthetic archival workload replay  [--seed N] [--objects 20] [--reads 100]
+
+All commands are deterministic in their seeds.
+";
+
+/// Dispatches a parsed command line. Returns `Err` with a user-facing
+/// message on failure.
+pub fn run_command(command: &str, parsed: &ParsedArgs) -> Result<(), String> {
+    match command {
+        "generate" => commands::generate(parsed),
+        "catalog" => commands::catalog(parsed),
+        "inspect" => commands::inspect(parsed),
+        "dot" => commands::dot(parsed),
+        "test" => commands::test(parsed),
+        "profile" => commands::profile(parsed),
+        "adjust" => commands::adjust(parsed),
+        "reliability" => commands::reliability(parsed),
+        "demo" => commands::demo(parsed),
+        "mindist" => commands::mindist(parsed),
+        "incremental" => commands::incremental(parsed),
+        "lifetime" => commands::lifetime(parsed),
+        "workload" => commands::workload(parsed),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}

@@ -1,0 +1,24 @@
+//! `tornado` — command-line interface to the Tornado archival-storage
+//! workspace.
+
+use tornado_cli::{run_command, ParsedArgs, USAGE};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" || argv[0] == "help" {
+        print!("{USAGE}");
+        return;
+    }
+    let parsed = match ParsedArgs::parse(&argv[1..]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run_command(&argv[0], &parsed) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,155 @@
+//! CLI integration tests: drive commands through the library entry point
+//! with real files in a temp directory.
+
+use tornado_cli::{run_command, ParsedArgs};
+
+fn args(parts: &[&str]) -> ParsedArgs {
+    ParsedArgs::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tornado-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn generate_then_inspect_then_test() {
+    let out = temp_path("gen.graphml");
+    let out_s = out.to_str().unwrap();
+    // Use a small graph so the exhaustive `test` stays debug-affordable.
+    run_command(
+        "generate",
+        &args(&["--seed", "3", "--data", "16", "--screen", "2", "--out", out_s]),
+    )
+    .expect("generate");
+    let xml = std::fs::read_to_string(&out).unwrap();
+    assert!(xml.contains("<graphml"));
+
+    run_command("inspect", &args(&["--graph", out_s])).expect("inspect");
+    run_command("test", &args(&["--graph", out_s, "--max-k", "2"])).expect("test");
+    run_command(
+        "profile",
+        &args(&["--graph", out_s, "--trials", "300", "--seed", "1"]),
+    )
+    .expect("profile");
+}
+
+#[test]
+fn generate_families() {
+    for family in ["regular", "cascaded", "mirror", "doubled", "shifted"] {
+        let out = temp_path(&format!("{family}.graphml"));
+        let out_s = out.to_str().unwrap();
+        run_command(
+            "generate",
+            &args(&[
+                "--seed", "5", "--data", "16", "--family", family, "--degree", "3", "--out",
+                out_s, "--no-screen",
+            ]),
+        )
+        .unwrap_or_else(|e| panic!("{family}: {e}"));
+        assert!(std::fs::read_to_string(&out).unwrap().contains("graphml"));
+    }
+}
+
+#[test]
+fn unknown_family_is_rejected() {
+    let err = run_command("generate", &args(&["--family", "fountain"])).unwrap_err();
+    assert!(err.contains("fountain"));
+}
+
+#[test]
+fn unknown_command_is_rejected() {
+    let err = run_command("frobnicate", &args(&[])).unwrap_err();
+    assert!(err.contains("frobnicate"));
+}
+
+#[test]
+fn catalog_dumps_parseable_graphml() {
+    let out = temp_path("catalog.graphml");
+    let out_s = out.to_str().unwrap();
+    run_command("catalog", &args(&["--index", "2", "--out", out_s])).expect("catalog");
+    let g = tornado_graph::graphml::from_graphml(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(g.num_nodes(), 96);
+    assert!(run_command("catalog", &args(&["--index", "9"])).is_err());
+}
+
+#[test]
+fn dot_export_works() {
+    let src = temp_path("dotsrc.graphml");
+    let src_s = src.to_str().unwrap();
+    run_command(
+        "generate",
+        &args(&["--seed", "1", "--data", "16", "--no-screen", "--out", src_s]),
+    )
+    .expect("generate");
+    let out = temp_path("graph.dot");
+    run_command("dot", &args(&["--graph", src_s, "--out", out.to_str().unwrap()]))
+        .expect("dot");
+    assert!(std::fs::read_to_string(&out).unwrap().starts_with("digraph"));
+}
+
+#[test]
+fn adjust_small_graph() {
+    let src = temp_path("adj.graphml");
+    let src_s = src.to_str().unwrap();
+    run_command(
+        "generate",
+        &args(&["--seed", "7", "--data", "16", "--screen", "2", "--out", src_s]),
+    )
+    .expect("generate");
+    let out = temp_path("adjusted.graphml");
+    run_command(
+        "adjust",
+        &args(&["--graph", src_s, "--target", "3", "--out", out.to_str().unwrap()]),
+    )
+    .expect("adjust");
+    let g = tornado_graph::graphml::from_graphml(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    g.validate().unwrap();
+}
+
+#[test]
+fn missing_required_flag_errors() {
+    assert!(run_command("inspect", &args(&[])).is_err());
+    assert!(run_command("test", &args(&[])).is_err());
+}
+
+#[test]
+fn demo_runs() {
+    run_command("demo", &args(&["--seed", "2"])).expect("demo");
+}
+
+#[test]
+fn mindist_on_small_graph() {
+    let src = temp_path("md.graphml");
+    let src_s = src.to_str().unwrap();
+    run_command(
+        "generate",
+        &args(&["--seed", "4", "--data", "16", "--family", "mirror", "--out", src_s]),
+    )
+    .expect("generate");
+    run_command("mindist", &args(&["--graph", src_s, "--cap", "3"])).expect("mindist");
+}
+
+#[test]
+fn incremental_and_lifetime_run() {
+    let src = temp_path("il.graphml");
+    let src_s = src.to_str().unwrap();
+    run_command(
+        "generate",
+        &args(&["--seed", "4", "--data", "16", "--screen", "2", "--out", src_s]),
+    )
+    .expect("generate");
+    run_command("incremental", &args(&["--graph", src_s, "--trials", "200"])).expect("incremental");
+    run_command(
+        "lifetime",
+        &args(&["--graph", src_s, "--afr", "0.02", "--scrubs", "2", "--trials", "5000"]),
+    )
+    .expect("lifetime");
+}
+
+#[test]
+fn workload_runs() {
+    run_command("workload", &args(&["--seed", "3", "--objects", "4", "--reads", "10"]))
+        .expect("workload");
+}

@@ -1,0 +1,431 @@
+//! The real data path: byte blocks in, byte blocks out.
+
+use crate::erasure::{ErasureDecoder, RecoveryStep};
+use crate::error::CodecError;
+use tornado_graph::{Graph, NodeId};
+
+/// XORs `src` into `dst` (equal lengths).
+#[inline]
+fn xor_into(dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    // The compiler auto-vectorises this loop; block sizes are multiples of
+    // nothing in particular, so stay portable.
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// Outcome of a block decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeReport {
+    /// Data nodes that could not be recovered (empty on success).
+    pub lost_data: Vec<NodeId>,
+    /// Nodes recovered by the peeling schedule, in recovery order.
+    pub recovered: Vec<NodeId>,
+}
+
+impl DecodeReport {
+    /// Whether every data block is present after decoding.
+    pub fn complete(&self) -> bool {
+        self.lost_data.is_empty()
+    }
+}
+
+/// XOR block codec bound to a graph.
+///
+/// See the crate-level docs for the encode/decode semantics. All blocks in a
+/// stripe must have equal length; [`EncodedStripe`] provides the
+/// padding/framing to store arbitrary byte payloads.
+pub struct Codec<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> Codec<'g> {
+    /// Creates a codec for `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        Self { graph }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Encodes `num_data` equal-length data blocks into `num_nodes` stored
+    /// blocks (the data blocks followed by the computed check blocks).
+    pub fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodecError> {
+        let k = self.graph.num_data();
+        if data.len() != k {
+            return Err(CodecError::WrongBlockCount {
+                got: data.len(),
+                expected: k,
+            });
+        }
+        let block_len = data.first().map(|b| b.len()).unwrap_or(0);
+        for (i, b) in data.iter().enumerate() {
+            if b.len() != block_len {
+                return Err(CodecError::UnequalBlockLengths {
+                    index: i,
+                    expected: block_len,
+                    got: b.len(),
+                });
+            }
+        }
+        let mut blocks: Vec<Vec<u8>> = Vec::with_capacity(self.graph.num_nodes());
+        blocks.extend(data.iter().cloned());
+        // Forward sweep: every left neighbour has a smaller id, so it is
+        // already materialised when its check is computed.
+        for check in self.graph.check_ids() {
+            let mut acc = vec![0u8; block_len];
+            for &n in self.graph.check_neighbors(check) {
+                xor_into(&mut acc, &blocks[n as usize]);
+            }
+            blocks.push(acc);
+        }
+        Ok(blocks)
+    }
+
+    /// Decodes a stripe in place: `stored[i]` is `Some(block)` if node `i`'s
+    /// block is available, `None` if erased. Recoverable blocks (data *and*
+    /// check) are filled in; the report lists what was recovered and what
+    /// stayed lost.
+    pub fn decode(&self, stored: &mut [Option<Vec<u8>>]) -> Result<DecodeReport, CodecError> {
+        let n = self.graph.num_nodes();
+        if stored.len() != n {
+            return Err(CodecError::WrongStripeWidth {
+                got: stored.len(),
+                expected: n,
+            });
+        }
+        let block_len = match stored.iter().flatten().next() {
+            Some(b) => b.len(),
+            None => return Err(CodecError::EmptyStripe),
+        };
+        for (i, b) in stored.iter().enumerate() {
+            if let Some(b) = b {
+                if b.len() != block_len {
+                    return Err(CodecError::UnequalBlockLengths {
+                        index: i,
+                        expected: block_len,
+                        got: b.len(),
+                    });
+                }
+            }
+        }
+
+        let missing: Vec<usize> = (0..n).filter(|&i| stored[i].is_none()).collect();
+        let mut dec = ErasureDecoder::new(self.graph);
+        let detail = dec.decode_detailed(&missing);
+
+        let mut recovered = Vec::with_capacity(detail.schedule.len());
+        for step in &detail.schedule {
+            match *step {
+                RecoveryStep::Peel { node, via } => {
+                    // node = via ⊕ (other left neighbours of via)
+                    let mut acc = stored[via as usize]
+                        .clone()
+                        .expect("schedule guarantees via is present");
+                    for &nbr in self.graph.check_neighbors(via) {
+                        if nbr != node {
+                            let b = stored[nbr as usize]
+                                .as_ref()
+                                .expect("schedule guarantees the other neighbours are present");
+                            xor_into(&mut acc, b);
+                        }
+                    }
+                    stored[node as usize] = Some(acc);
+                    recovered.push(node);
+                }
+                RecoveryStep::Reencode { node } => {
+                    let mut acc = vec![0u8; block_len];
+                    for &nbr in self.graph.check_neighbors(node) {
+                        let b = stored[nbr as usize]
+                            .as_ref()
+                            .expect("schedule guarantees the neighbours are present");
+                        xor_into(&mut acc, b);
+                    }
+                    stored[node as usize] = Some(acc);
+                    recovered.push(node);
+                }
+            }
+        }
+        Ok(DecodeReport {
+            lost_data: detail.lost_data,
+            recovered,
+        })
+    }
+
+    /// Verifies that every check block equals the XOR of its left
+    /// neighbours; returns the ids of inconsistent check nodes. Used by the
+    /// store's scrubber to detect silent corruption.
+    pub fn verify(&self, blocks: &[Vec<u8>]) -> Result<Vec<NodeId>, CodecError> {
+        let n = self.graph.num_nodes();
+        if blocks.len() != n {
+            return Err(CodecError::WrongStripeWidth {
+                got: blocks.len(),
+                expected: n,
+            });
+        }
+        let block_len = blocks.first().map(|b| b.len()).unwrap_or(0);
+        let mut bad = Vec::new();
+        let mut acc = vec![0u8; block_len];
+        for check in self.graph.check_ids() {
+            acc.fill(0);
+            for &nbr in self.graph.check_neighbors(check) {
+                xor_into(&mut acc, &blocks[nbr as usize]);
+            }
+            if acc != blocks[check as usize] {
+                bad.push(check);
+            }
+        }
+        Ok(bad)
+    }
+}
+
+/// A self-framing encoded stripe: arbitrary payload bytes split into data
+/// blocks (with a length header and zero padding), then encoded.
+///
+/// ```
+/// use tornado_graph::GraphBuilder;
+/// use tornado_codec::{Codec, EncodedStripe};
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.begin_level("c1");
+/// b.add_check(&[0, 1]);
+/// b.add_check(&[2, 3]);
+/// let g = b.build().unwrap();
+/// let codec = Codec::new(&g);
+///
+/// let payload = b"hello tornado archival storage".to_vec();
+/// let stripe = EncodedStripe::from_object(&codec, &payload).unwrap();
+/// let mut stored: Vec<Option<Vec<u8>>> = stripe.blocks().iter().cloned().map(Some).collect();
+/// stored[0] = None; // lose a device
+/// let out = EncodedStripe::recover_object(&codec, &mut stored).unwrap().unwrap();
+/// assert_eq!(out, payload);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EncodedStripe {
+    blocks: Vec<Vec<u8>>,
+    block_len: usize,
+}
+
+/// Length-header size prepended to the payload before splitting.
+const LEN_HEADER: usize = 8;
+
+impl EncodedStripe {
+    /// Encodes `payload` into a stripe for `codec`'s graph.
+    pub fn from_object(codec: &Codec<'_>, payload: &[u8]) -> Result<Self, CodecError> {
+        let k = codec.graph().num_data();
+        let framed_len = payload.len() + LEN_HEADER;
+        let block_len = framed_len.div_ceil(k).max(1);
+        let mut framed = Vec::with_capacity(block_len * k);
+        framed.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        framed.extend_from_slice(payload);
+        framed.resize(block_len * k, 0);
+        let data: Vec<Vec<u8>> = framed.chunks(block_len).map(|c| c.to_vec()).collect();
+        let blocks = codec.encode(&data)?;
+        Ok(Self { blocks, block_len })
+    }
+
+    /// The stored blocks, one per graph node.
+    pub fn blocks(&self) -> &[Vec<u8>] {
+        &self.blocks
+    }
+
+    /// Per-block length in bytes.
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// Decodes a (possibly damaged) stored stripe and reassembles the
+    /// payload. Returns `Ok(None)` if reconstruction failed.
+    pub fn recover_object(
+        codec: &Codec<'_>,
+        stored: &mut [Option<Vec<u8>>],
+    ) -> Result<Option<Vec<u8>>, CodecError> {
+        let report = codec.decode(stored)?;
+        if !report.complete() {
+            return Ok(None);
+        }
+        let k = codec.graph().num_data();
+        let mut framed = Vec::new();
+        for block in stored.iter().take(k) {
+            framed.extend_from_slice(block.as_ref().expect("decode reported complete"));
+        }
+        if framed.len() < LEN_HEADER {
+            return Ok(None);
+        }
+        let len = u64::from_le_bytes(framed[..LEN_HEADER].try_into().expect("8 bytes")) as usize;
+        if LEN_HEADER + len > framed.len() {
+            return Ok(None);
+        }
+        Ok(Some(framed[LEN_HEADER..LEN_HEADER + len].to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tornado_graph::GraphBuilder;
+
+    fn cascade() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.begin_level("c1");
+        b.add_check(&[0, 1]);
+        b.add_check(&[2, 3]);
+        b.begin_level("c2");
+        b.add_check(&[4, 5]);
+        b.build().unwrap()
+    }
+
+    fn sample_data(len: usize) -> Vec<Vec<u8>> {
+        (0..4u8).map(|i| vec![i.wrapping_mul(37).wrapping_add(1); len]).collect()
+    }
+
+    #[test]
+    fn encode_produces_xor_checks() {
+        let g = cascade();
+        let c = Codec::new(&g);
+        let data = sample_data(16);
+        let blocks = c.encode(&data).unwrap();
+        assert_eq!(blocks.len(), 7);
+        for i in 0..16 {
+            assert_eq!(blocks[4][i], data[0][i] ^ data[1][i]);
+            assert_eq!(blocks[5][i], data[2][i] ^ data[3][i]);
+            assert_eq!(blocks[6][i], blocks[4][i] ^ blocks[5][i]);
+        }
+        assert!(c.verify(&blocks).unwrap().is_empty());
+    }
+
+    #[test]
+    fn encode_rejects_bad_shapes() {
+        let g = cascade();
+        let c = Codec::new(&g);
+        assert!(matches!(
+            c.encode(&sample_data(8)[..3]),
+            Err(CodecError::WrongBlockCount { got: 3, expected: 4 })
+        ));
+        let mut uneven = sample_data(8);
+        uneven[2] = vec![0; 9];
+        assert!(matches!(
+            c.encode(&uneven),
+            Err(CodecError::UnequalBlockLengths { index: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn decode_recovers_bytes_exactly() {
+        let g = cascade();
+        let c = Codec::new(&g);
+        let data = sample_data(32);
+        let blocks = c.encode(&data).unwrap();
+        // Lose data 0 and check 4: requires re-encode of 4 via deeper level.
+        let mut stored: Vec<Option<Vec<u8>>> = blocks.iter().cloned().map(Some).collect();
+        stored[0] = None;
+        stored[4] = None;
+        let report = c.decode(&mut stored).unwrap();
+        assert!(report.complete());
+        assert_eq!(report.recovered, vec![4, 0]);
+        assert_eq!(stored[0].as_deref().unwrap(), &data[0][..]);
+        assert_eq!(stored[4].as_deref().unwrap(), &blocks[4][..]);
+    }
+
+    #[test]
+    fn decode_reports_unrecoverable_data() {
+        let g = cascade();
+        let c = Codec::new(&g);
+        let blocks = c.encode(&sample_data(8)).unwrap();
+        let mut stored: Vec<Option<Vec<u8>>> = blocks.into_iter().map(Some).collect();
+        stored[0] = None;
+        stored[1] = None; // closed pair under check 4
+        let report = c.decode(&mut stored).unwrap();
+        assert!(!report.complete());
+        assert_eq!(report.lost_data, vec![0, 1]);
+        assert!(stored[0].is_none());
+        // Data 2, 3 untouched; nothing needed recovery besides them.
+        assert!(stored[2].is_some());
+    }
+
+    #[test]
+    fn decode_rejects_bad_shapes() {
+        let g = cascade();
+        let c = Codec::new(&g);
+        let mut short: Vec<Option<Vec<u8>>> = vec![Some(vec![0u8; 4]); 6];
+        assert!(matches!(
+            c.decode(&mut short),
+            Err(CodecError::WrongStripeWidth { got: 6, expected: 7 })
+        ));
+        let mut empty: Vec<Option<Vec<u8>>> = vec![None; 7];
+        assert!(matches!(c.decode(&mut empty), Err(CodecError::EmptyStripe)));
+        let mut uneven: Vec<Option<Vec<u8>>> = vec![Some(vec![0u8; 4]); 7];
+        uneven[3] = Some(vec![0u8; 5]);
+        assert!(matches!(
+            c.decode(&mut uneven),
+            Err(CodecError::UnequalBlockLengths { index: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn verify_flags_corruption() {
+        let g = cascade();
+        let c = Codec::new(&g);
+        let mut blocks = c.encode(&sample_data(8)).unwrap();
+        blocks[5][0] ^= 0xff;
+        let bad = c.verify(&blocks).unwrap();
+        // Check 5 is wrong, and check 6 (which XORs 4 and 5 — computed from
+        // the *stored* 5) no longer matches either.
+        assert_eq!(bad, vec![5, 6]);
+    }
+
+    #[test]
+    fn stripe_framing_roundtrip_various_sizes() {
+        let g = cascade();
+        let c = Codec::new(&g);
+        for size in [0usize, 1, 7, 8, 9, 31, 32, 33, 1000] {
+            let payload: Vec<u8> = (0..size).map(|i| (i * 31 % 251) as u8).collect();
+            let stripe = EncodedStripe::from_object(&c, &payload).unwrap();
+            let mut stored: Vec<Option<Vec<u8>>> =
+                stripe.blocks().iter().cloned().map(Some).collect();
+            let out = EncodedStripe::recover_object(&c, &mut stored).unwrap().unwrap();
+            assert_eq!(out, payload, "size {size}");
+        }
+    }
+
+    #[test]
+    fn stripe_survives_tolerable_erasures() {
+        let g = cascade();
+        let c = Codec::new(&g);
+        let payload = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let stripe = EncodedStripe::from_object(&c, &payload).unwrap();
+        for lose in [vec![0usize], vec![2, 5], vec![0, 4], vec![6]] {
+            let mut stored: Vec<Option<Vec<u8>>> =
+                stripe.blocks().iter().cloned().map(Some).collect();
+            for &l in &lose {
+                stored[l] = None;
+            }
+            let out = EncodedStripe::recover_object(&c, &mut stored).unwrap();
+            assert_eq!(out.unwrap(), payload, "losing {lose:?}");
+        }
+    }
+
+    #[test]
+    fn stripe_reports_unrecoverable_as_none() {
+        let g = cascade();
+        let c = Codec::new(&g);
+        let stripe = EncodedStripe::from_object(&c, b"payload").unwrap();
+        let mut stored: Vec<Option<Vec<u8>>> =
+            stripe.blocks().iter().cloned().map(Some).collect();
+        stored[0] = None;
+        stored[1] = None;
+        assert_eq!(EncodedStripe::recover_object(&c, &mut stored).unwrap(), None);
+    }
+
+    #[test]
+    fn zero_length_blocks_are_legal() {
+        let g = cascade();
+        let c = Codec::new(&g);
+        let data: Vec<Vec<u8>> = vec![vec![]; 4];
+        let blocks = c.encode(&data).unwrap();
+        assert!(blocks.iter().all(|b| b.is_empty()));
+    }
+}

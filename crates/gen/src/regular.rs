@@ -1,0 +1,89 @@
+//! Biregular single-stage graphs (paper §4.3, Fig. 5 / Table 3).
+//!
+//! "Regular single-stage graphs, such as those of degree 4 and 11,
+//! performed poorly." One bipartite level: `k` data nodes, `k` check nodes,
+//! every node of degree `d`.
+
+use crate::error::GenError;
+use crate::matching::match_stage;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tornado_graph::{Graph, GraphBuilder};
+
+/// Generates a single-stage biregular graph: `num_data` data nodes,
+/// `num_data` checks, every node with degree `degree`.
+pub fn generate_regular(num_data: usize, degree: u32, seed: u64) -> Result<Graph, GenError> {
+    if num_data == 0 {
+        return Err(GenError::BadParameters {
+            detail: "no data nodes".into(),
+        });
+    }
+    if degree as usize > num_data {
+        return Err(GenError::BadParameters {
+            detail: format!("degree {degree} exceeds side size {num_data}"),
+        });
+    }
+    if degree < 2 {
+        return Err(GenError::BadParameters {
+            detail: format!("degree {degree} < 2 cannot protect anything"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let left_degrees = vec![degree; num_data];
+    let right_degrees = vec![degree; num_data];
+    let stage = match_stage(&left_degrees, &right_degrees, &mut rng)?;
+    let mut b = GraphBuilder::new(num_data);
+    b.begin_level("regular");
+    for nbrs in stage {
+        b.add_check(&nbrs);
+    }
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tornado_graph::DegreeStats;
+
+    #[test]
+    fn degree_4_and_11_shapes() {
+        for d in [4u32, 11] {
+            let g = generate_regular(48, d, 3).unwrap();
+            assert_eq!(g.num_data(), 48);
+            assert_eq!(g.num_checks(), 48);
+            assert_eq!(g.num_edges(), 48 * d as usize);
+            for c in g.check_ids() {
+                assert_eq!(g.check_neighbors(c).len(), d as usize);
+            }
+            for v in g.data_ids() {
+                assert_eq!(g.checks_of(v).len(), d as usize, "data {v} degree");
+            }
+            assert_eq!(DegreeStats::of(&g).unprotected_data_nodes, 0);
+        }
+    }
+
+    #[test]
+    fn rejects_impossible_parameters() {
+        assert!(generate_regular(0, 4, 1).is_err());
+        assert!(generate_regular(10, 11, 1).is_err());
+        assert!(generate_regular(10, 1, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate_regular(48, 4, 9).unwrap();
+        let b = generate_regular(48, 4, 9).unwrap();
+        let c = generate_regular(48, 4, 10).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn single_losses_recover() {
+        let g = generate_regular(48, 4, 3).unwrap();
+        let mut dec = tornado_codec::ErasureDecoder::new(&g);
+        for v in 0..96 {
+            assert!(dec.decode(&[v]));
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! The Tornado Code graph generator (paper §3.1).
+//!
+//! Cascade shape: check levels halve (`k/2, k/4, …`) until the next level
+//! would drop to `min_final_level` or below; the last halving level then
+//! acts as the shared left set for *two independent* final check stages of
+//! half its size (the Typhoon treatment — "the last two stages of the graph
+//! share the same set of left nodes"). The level sizes telescope so that
+//! total checks always equal `num_data`: the code is rate 1/2, the same
+//! 50 % capacity overhead as RAID 10.
+//!
+//! Per stage, left node degrees follow Luby's heavy-tail edge-degree
+//! distribution and check degrees a truncated Poisson, both rescaled by the
+//! §3.1 numeric solver to produce exact node counts, then paired by a
+//! configuration-model matching with duplicate repair.
+
+use crate::distribution::EdgeDegreeDistribution;
+use crate::error::GenError;
+use crate::matching::{fit_right_degrees, match_stage};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tornado_graph::{Graph, GraphBuilder, NodeId};
+
+/// Parameters for Tornado graph generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TornadoParams {
+    /// Number of data nodes `k`; total graph size is `2k`.
+    pub num_data: usize,
+    /// Heavy-tail parameter `D`: left node degrees range over `2..=D+1`
+    /// (capped per stage so a node never needs more checks than exist).
+    /// `D = 16` yields the ≈ 3.6 average degree the paper reports.
+    pub max_degree_d: u32,
+    /// Stop halving when the next level would be `<=` this size; the last
+    /// halving level then feeds the two shared-left final stages.
+    pub min_final_level: usize,
+}
+
+impl Default for TornadoParams {
+    fn default() -> Self {
+        Self {
+            num_data: 48,
+            max_degree_d: 16,
+            min_final_level: 8,
+        }
+    }
+}
+
+impl TornadoParams {
+    /// The paper's 96-node configuration (48 data + 48 check nodes).
+    pub fn paper_96() -> Self {
+        Self::default()
+    }
+
+    /// Computes the cascade shape: the halving check-level sizes followed by
+    /// the two final stage sizes. The sum always equals `num_data`.
+    pub fn shape(&self) -> Result<CascadeShape, GenError> {
+        let k = self.num_data;
+        if k < 4 {
+            return Err(GenError::BadParameters {
+                detail: format!("num_data = {k} too small (need >= 4)"),
+            });
+        }
+        let mut halving = Vec::new();
+        let mut cur = k;
+        loop {
+            if !cur.is_multiple_of(2) {
+                return Err(GenError::BadParameters {
+                    detail: format!("level size {cur} is odd; num_data must halve cleanly"),
+                });
+            }
+            let next = cur / 2;
+            if next < self.min_final_level.max(2) {
+                break;
+            }
+            halving.push(next);
+            cur = next;
+        }
+        let s = *halving.last().unwrap_or(&k);
+        if s % 2 != 0 || s < 2 {
+            return Err(GenError::BadParameters {
+                detail: format!("final shared-left level size {s} must be even and >= 2"),
+            });
+        }
+        Ok(CascadeShape {
+            halving,
+            final_stage: s / 2,
+        })
+    }
+}
+
+/// The level structure of a Tornado cascade.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CascadeShape {
+    /// Sizes of the halving check levels (`k/2, k/4, …`).
+    pub halving: Vec<usize>,
+    /// Size of each of the two final stages (half the last halving level).
+    pub final_stage: usize,
+}
+
+impl CascadeShape {
+    /// Total number of check nodes (always `num_data` for this cascade).
+    pub fn total_checks(&self) -> usize {
+        self.halving.iter().sum::<usize>() + 2 * self.final_stage
+    }
+}
+
+/// Generates Tornado Code graphs.
+#[derive(Clone, Debug)]
+pub struct TornadoGenerator {
+    params: TornadoParams,
+    /// Distribution transform applied per stage (identity for standard
+    /// Tornado; see [`crate::altered`]).
+    transform: DistTransform,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum DistTransform {
+    Identity,
+    Doubled,
+    Shifted,
+}
+
+impl TornadoGenerator {
+    /// Standard Tornado generator.
+    pub fn new(params: TornadoParams) -> Self {
+        Self {
+            params,
+            transform: DistTransform::Identity,
+        }
+    }
+
+    pub(crate) fn with_transform(params: TornadoParams, transform: DistTransform) -> Self {
+        Self { params, transform }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &TornadoParams {
+        &self.params
+    }
+
+    fn left_distribution(&self, n_left: usize, n_right: usize) -> EdgeDegreeDistribution {
+        // A left node cannot feed more distinct checks than the stage has.
+        let cap = (n_right.saturating_sub(1)).max(1) as u32;
+        let d = self.params.max_degree_d.min(cap).max(1);
+        let base = EdgeDegreeDistribution::heavy_tail(d);
+        let _ = n_left;
+        match self.transform {
+            DistTransform::Identity => base,
+            DistTransform::Doubled => base.doubled(),
+            DistTransform::Shifted => base.shifted(),
+        }
+    }
+
+    /// Builds one bipartite stage: returns, per check, its stage-local left
+    /// indices.
+    fn build_stage(
+        &self,
+        n_left: usize,
+        n_right: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Vec<u32>>, GenError> {
+        let left_dist = self.left_distribution(n_left, n_right);
+        let mut left_degrees = left_dist.degree_sequence(n_left)?;
+        // Cap any degree that exceeds the number of checks (transforms like
+        // "doubled" can push degrees past the stage width).
+        for d in left_degrees.iter_mut() {
+            *d = (*d).min(n_right as u32);
+        }
+        left_degrees.shuffle(rng);
+        let total_slots: usize = left_degrees.iter().map(|&d| d as usize).sum();
+
+        let mean_right = total_slots as f64 / n_right as f64;
+        let right_dist = EdgeDegreeDistribution::poisson(mean_right.max(0.5), n_left as u32);
+        let mut right_degrees = right_dist.degree_sequence(n_right)?;
+        right_degrees.shuffle(rng);
+        fit_right_degrees(&mut right_degrees, total_slots, n_left)?;
+        match_stage(&left_degrees, &right_degrees, rng)
+    }
+
+    /// Generates one graph from `seed` (no defect screening).
+    pub fn generate(&self, seed: u64) -> Result<Graph, GenError> {
+        let shape = self.params.shape()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut builder = GraphBuilder::new(self.params.num_data);
+
+        // Left node ids of the stage being built.
+        let mut left_ids: Vec<NodeId> = (0..self.params.num_data as NodeId).collect();
+        for (li, &size) in shape.halving.iter().enumerate() {
+            builder.begin_level(&format!("check-{}", li + 1));
+            let stage = self.build_stage(left_ids.len(), size, &mut rng)?;
+            let mut new_ids = Vec::with_capacity(size);
+            for local in stage {
+                let nbrs: Vec<NodeId> = local.iter().map(|&l| left_ids[l as usize]).collect();
+                new_ids.push(builder.add_check(&nbrs));
+            }
+            left_ids = new_ids;
+        }
+
+        // Two final stages sharing the last halving level as left set.
+        for tag in ["final-a", "final-b"] {
+            builder.begin_level(tag);
+            let stage = self.build_stage(left_ids.len(), shape.final_stage, &mut rng)?;
+            for local in stage {
+                let nbrs: Vec<NodeId> = local.iter().map(|&l| left_ids[l as usize]).collect();
+                builder.add_check(&nbrs);
+            }
+        }
+        Ok(builder.build()?)
+    }
+
+    /// Generates graphs from successive derived seeds until one passes the
+    /// structural defect screen (no stopping set of size ≤ `screen_size`
+    /// among the data nodes). Returns the graph and the number of attempts
+    /// used. This is the paper's "graphs that fail are discarded" loop.
+    pub fn generate_screened(
+        &self,
+        seed: u64,
+        max_attempts: usize,
+        screen_size: usize,
+    ) -> Result<(Graph, usize), GenError> {
+        let mut last_err = None;
+        for attempt in 0..max_attempts {
+            // SplitMix-style finalizer over (seed, attempt) so distinct
+            // pairs give unrelated generation streams.
+            let mut s = seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            s ^= s >> 31;
+            match self.generate(s) {
+                Ok(graph) => {
+                    if crate::defects::screen(&graph, screen_size).is_ok() {
+                        return Ok((graph, attempt + 1));
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or(GenError::ScreenExhausted {
+            attempts: max_attempts,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tornado_graph::stats::{cascade_depth, level_shape, parity_fraction};
+    use tornado_graph::DegreeStats;
+
+    #[test]
+    fn shape_for_paper_96() {
+        let shape = TornadoParams::paper_96().shape().unwrap();
+        assert_eq!(shape.halving, vec![24, 12]);
+        assert_eq!(shape.final_stage, 6);
+        assert_eq!(shape.total_checks(), 48);
+    }
+
+    #[test]
+    fn shape_for_32_node_graph() {
+        // §3.1: "The resulting graph constructor was able to produce Tornado
+        // Code graphs as small as 32 total nodes" — final stages of 4.
+        let p = TornadoParams {
+            num_data: 16,
+            ..TornadoParams::default()
+        };
+        let shape = p.shape().unwrap();
+        assert_eq!(shape.halving, vec![8]);
+        assert_eq!(shape.final_stage, 4);
+        assert_eq!(shape.total_checks(), 16);
+    }
+
+    #[test]
+    fn shape_rejects_bad_sizes() {
+        let p = TornadoParams {
+            num_data: 3,
+            ..TornadoParams::default()
+        };
+        assert!(p.shape().is_err());
+        let p = TornadoParams {
+            num_data: 50, // 50 → 25 odd
+            min_final_level: 4,
+            ..TornadoParams::default()
+        };
+        assert!(p.shape().is_err());
+    }
+
+    #[test]
+    fn generated_graph_has_paper_structure() {
+        let g = TornadoGenerator::new(TornadoParams::paper_96())
+            .generate(1)
+            .unwrap();
+        assert_eq!(g.num_data(), 48);
+        assert_eq!(g.num_nodes(), 96);
+        assert_eq!(level_shape(&g), vec![48, 24, 12, 6, 6]);
+        assert_eq!(cascade_depth(&g), 4);
+        assert!((parity_fraction(&g) - 0.5).abs() < 1e-12, "rate 1/2");
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn final_stages_share_the_same_left_set() {
+        let g = TornadoGenerator::new(TornadoParams::paper_96())
+            .generate(2)
+            .unwrap();
+        let levels = g.levels();
+        let shared_left = levels[2].nodes(); // the 12-node level
+        for final_level in &levels[3..] {
+            for c in final_level.nodes() {
+                for &n in g.check_neighbors(c) {
+                    assert!(
+                        shared_left.contains(&n),
+                        "final-stage check {c} uses {n} outside the shared left set"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let gen = TornadoGenerator::new(TornadoParams::paper_96());
+        let a = gen.generate(77).unwrap();
+        let b = gen.generate(77).unwrap();
+        let c = gen.generate(78).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn average_degree_is_near_paper_value() {
+        // Paper §3.3: "the average degree of our graphs was 3.6". The
+        // comparable quantity is edges per node (every node acts as a left
+        // node of exactly one stage, and Σ left-set sizes = num_nodes), i.e.
+        // the mean heavy-tail left degree.
+        let gen = TornadoGenerator::new(TornadoParams::paper_96());
+        let mut total = 0.0;
+        for seed in 0..5 {
+            let g = gen.generate(seed).unwrap();
+            total += g.num_edges() as f64 / g.num_nodes() as f64;
+        }
+        let mean = total / 5.0;
+        assert!(
+            (2.5..4.5).contains(&mean),
+            "edges per node {mean} far from the paper's 3.6"
+        );
+    }
+
+    #[test]
+    fn every_data_node_is_protected() {
+        let gen = TornadoGenerator::new(TornadoParams::paper_96());
+        for seed in 0..10 {
+            let g = gen.generate(seed).unwrap();
+            let stats = DegreeStats::of(&g);
+            assert_eq!(
+                stats.unprotected_data_nodes, 0,
+                "seed {seed} left a data node uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn screened_generation_passes_the_screen() {
+        let gen = TornadoGenerator::new(TornadoParams::paper_96());
+        let (g, attempts) = gen.generate_screened(1234, 64, 3).unwrap();
+        assert!(attempts >= 1);
+        assert!(crate::defects::screen(&g, 3).is_ok());
+    }
+
+    #[test]
+    fn small_graph_generation_works() {
+        let p = TornadoParams {
+            num_data: 16,
+            ..TornadoParams::default()
+        };
+        let g = TornadoGenerator::new(p).generate(5).unwrap();
+        assert_eq!(g.num_nodes(), 32);
+        assert_eq!(level_shape(&g), vec![16, 8, 4, 4]);
+    }
+
+    #[test]
+    fn single_data_loss_always_recovers() {
+        // Basic sanity for real Tornado graphs: any single loss is fine.
+        let g = TornadoGenerator::new(TornadoParams::paper_96())
+            .generate(3)
+            .unwrap();
+        let mut dec = tornado_codec::ErasureDecoder::new(&g);
+        for v in 0..96 {
+            assert!(dec.decode(&[v]), "single loss of node {v} failed");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Graphviz DOT export.
+//!
+//! Renders cascades in the style of the paper's Figs. 1–2: one rank per
+//! level, data nodes as boxes, check nodes as circles. The testing suite in
+//! the paper "can render failed graphs highlighting unrecoverable nodes";
+//! [`to_dot_highlighted`] reproduces that by colouring a node set.
+
+use crate::model::{Graph, LevelKind, NodeId};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Renders `graph` as DOT.
+pub fn to_dot(graph: &Graph) -> String {
+    to_dot_highlighted(graph, &[])
+}
+
+/// Renders `graph` as DOT with the nodes in `highlight` filled red —
+/// typically the unrecoverable nodes of a failed reconstruction.
+pub fn to_dot_highlighted(graph: &Graph, highlight: &[NodeId]) -> String {
+    let marked: BTreeSet<NodeId> = highlight.iter().copied().collect();
+    let mut s = String::new();
+    s.push_str("digraph tornado {\n  rankdir=LR;\n  node [fontsize=10];\n");
+    for (i, level) in graph.levels().iter().enumerate() {
+        let _ = writeln!(s, "  subgraph cluster_{i} {{");
+        let _ = writeln!(s, "    label=\"{}\";", level.label);
+        let shape = match level.kind {
+            LevelKind::Data => "box",
+            LevelKind::Check => "circle",
+        };
+        for id in level.nodes() {
+            let style = if marked.contains(&id) {
+                ", style=filled, fillcolor=\"#d62728\", fontcolor=white"
+            } else {
+                ""
+            };
+            let _ = writeln!(s, "    n{id} [shape={shape}{style}];");
+        }
+        s.push_str("  }\n");
+    }
+    for check in graph.check_ids() {
+        for &left in graph.check_neighbors(check) {
+            let _ = writeln!(s, "  n{left} -> n{check};");
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new(2);
+        b.begin_level("c1");
+        b.add_check(&[0, 1]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_clusters_and_edges() {
+        let dot = to_dot(&sample());
+        assert!(dot.starts_with("digraph tornado {"));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("n0 [shape=box];"));
+        assert!(dot.contains("n2 [shape=circle];"));
+        assert!(dot.contains("n0 -> n2;"));
+        assert!(dot.contains("n1 -> n2;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn highlighting_marks_only_requested_nodes() {
+        let dot = to_dot_highlighted(&sample(), &[1]);
+        assert!(dot.contains("n1 [shape=box, style=filled"));
+        assert!(dot.contains("n0 [shape=box];"));
+    }
+}

@@ -1,0 +1,193 @@
+//! The device-failure probability model (paper §5.1, Eqs. 2–3).
+//!
+//! The paper assumes independent device failures with a fixed annual failure
+//! rate `p` and no repair. The number of failed devices is then binomial
+//! (Eq. 2), and composing it with the *measured* conditional failure profile
+//! `P(fail | k devices lost)` by total probability (Eq. 3) yields the system
+//! failure probability reported in Table 5.
+
+use crate::binomial::ln_binomial;
+use crate::sum::NeumaierSum;
+
+/// Probability that exactly `k` of `n` devices fail, each independently with
+/// probability `p` (paper Eq. 2).
+///
+/// Computed in log space so extreme tails (e.g. `k = 48`, `p = 0.01`) do not
+/// underflow prematurely.
+///
+/// ```
+/// use tornado_numerics::binomial_pmf;
+/// let p3 = binomial_pmf(96, 3, 0.01);
+/// assert!((p3 - 0.056).abs() < 2e-3); // paper §5.1 quotes ≈ 0.056 for "exactly 3"
+/// ```
+pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p = {p} is not a probability");
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    // ln(1 - p) via ln_1p(-p) keeps full accuracy at the small p typical of
+    // annual failure rates.
+    let ln = ln_binomial(n, k) + (k as f64) * p.ln() + ((n - k) as f64) * (-p).ln_1p();
+    ln.exp()
+}
+
+/// A binomial failure-count model over `n` devices with per-device failure
+/// probability `p` in the modelled period.
+#[derive(Clone, Copy, Debug)]
+pub struct BinomialFailureModel {
+    /// Number of devices.
+    pub n: u64,
+    /// Per-device failure probability (e.g. annual failure rate 0.01).
+    pub p: f64,
+}
+
+impl BinomialFailureModel {
+    /// Creates the model. `p` must be in `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p = {p} is not a probability");
+        Self { n, p }
+    }
+
+    /// `P(exactly k devices fail)` — paper Eq. 2.
+    pub fn pmf(&self, k: u64) -> f64 {
+        binomial_pmf(self.n, k, self.p)
+    }
+
+    /// `P(at least k devices fail)`.
+    pub fn sf(&self, k: u64) -> f64 {
+        let mut s = NeumaierSum::new();
+        for j in k..=self.n {
+            s.add(self.pmf(j));
+        }
+        s.value()
+    }
+
+    /// Composes the model with a conditional failure profile
+    /// `P(fail | k devices lost)` given as `profile[k]` (paper Eq. 3).
+    ///
+    /// `profile` must have `n + 1` entries (`k = 0..=n`); each entry must be
+    /// a probability.
+    pub fn compose(&self, profile: &[f64]) -> f64 {
+        compose_failure_probability(self.n, self.p, profile)
+    }
+}
+
+/// Total-probability composition (paper Eq. 3):
+/// `P(fail) = Σₖ P(fail | k lost) · P(k lost)`.
+///
+/// # Panics
+/// Panics if `profile.len() != n + 1` or any entry is outside `[0, 1]`.
+pub fn compose_failure_probability(n: u64, p: f64, profile: &[f64]) -> f64 {
+    assert_eq!(
+        profile.len() as u64,
+        n + 1,
+        "conditional profile must cover k = 0..=n"
+    );
+    let mut s = NeumaierSum::new();
+    for (k, &cond) in profile.iter().enumerate() {
+        assert!(
+            (0.0..=1.0).contains(&cond),
+            "profile[{k}] = {cond} is not a probability"
+        );
+        if cond > 0.0 {
+            s.add(cond * binomial_pmf(n, k as u64, p));
+        }
+    }
+    s.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &p in &[0.0, 0.01, 0.3, 0.99, 1.0] {
+            let m = BinomialFailureModel::new(96, p);
+            let total: f64 = (0..=96).map(|k| m.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "p = {p}: total {total}");
+        }
+    }
+
+    #[test]
+    fn pmf_degenerate_endpoints() {
+        let never = BinomialFailureModel::new(10, 0.0);
+        assert_eq!(never.pmf(0), 1.0);
+        assert_eq!(never.pmf(1), 0.0);
+        let always = BinomialFailureModel::new(10, 1.0);
+        assert_eq!(always.pmf(10), 1.0);
+        assert_eq!(always.pmf(9), 0.0);
+    }
+
+    #[test]
+    fn pmf_matches_direct_formula_small_n() {
+        // n = 4, p = 0.25: exact values are easy by hand.
+        let m = BinomialFailureModel::new(4, 0.25);
+        let q: f64 = 0.75;
+        assert!((m.pmf(0) - q.powi(4)).abs() < 1e-15);
+        assert!((m.pmf(1) - 4.0 * 0.25 * q.powi(3)).abs() < 1e-15);
+        assert!((m.pmf(4) - 0.25f64.powi(4)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn paper_quoted_values() {
+        // §5.1: "P(exactly 3 disks fail) = 0.056" and
+        //        "P(exactly 5 disks fail) = 0.0024" for n = 96, p = 0.01.
+        let m = BinomialFailureModel::new(96, 0.01);
+        assert!((m.pmf(3) - 0.056).abs() < 2e-3, "pmf(3) = {}", m.pmf(3));
+        assert!((m.pmf(5) - 0.0024).abs() < 3e-4, "pmf(5) = {}", m.pmf(5));
+    }
+
+    #[test]
+    fn striping_composition_matches_closed_form() {
+        // A striped system fails whenever any device fails:
+        // P(fail) = 1 − (1 − p)ⁿ. Paper Table 5 reports 0.61895 for n = 96.
+        let n = 96u64;
+        let p = 0.01;
+        let mut profile = vec![1.0; (n + 1) as usize];
+        profile[0] = 0.0;
+        let composed = compose_failure_probability(n, p, &profile);
+        let closed = 1.0 - (1.0f64 - p).powi(n as i32);
+        assert!((composed - closed).abs() < 1e-12);
+        assert!((composed - 0.61895).abs() < 5e-5, "composed = {composed}");
+    }
+
+    #[test]
+    fn individual_disk_convention() {
+        // "Individual disk" in Table 5 is just p itself: the probability a
+        // given disk's data is lost. Sanity-check our model can express the
+        // single-device case.
+        let m = BinomialFailureModel::new(1, 0.01);
+        assert!((m.compose(&[0.0, 1.0]) - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn survival_function_is_monotone() {
+        let m = BinomialFailureModel::new(96, 0.01);
+        let mut prev = 1.0 + 1e-12;
+        for k in 0..=96 {
+            let sf = m.sf(k);
+            assert!(sf <= prev + 1e-12, "sf not monotone at k = {k}");
+            prev = sf;
+        }
+        assert!((m.sf(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover")]
+    fn compose_rejects_short_profile() {
+        compose_failure_probability(4, 0.1, &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn compose_rejects_invalid_probability() {
+        compose_failure_probability(1, 0.1, &[0.0, 1.5]);
+    }
+}

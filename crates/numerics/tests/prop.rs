@@ -1,0 +1,84 @@
+//! Property-based tests for the numeric layer.
+
+use proptest::prelude::*;
+use tornado_numerics::{
+    binomial_pmf, binomial_u128, bisect, compose_failure_probability, ln_binomial, Bracket,
+    NeumaierSum,
+};
+
+proptest! {
+    #[test]
+    fn binomial_symmetry_and_bounds(n in 0u64..120, k in 0u64..120) {
+        let c = binomial_u128(n, k);
+        if k > n {
+            prop_assert_eq!(c, 0);
+        } else {
+            prop_assert_eq!(c, binomial_u128(n, n - k));
+            prop_assert!(c >= 1);
+        }
+    }
+
+    #[test]
+    fn binomial_pascal(n in 1u64..90, k in 1u64..90) {
+        prop_assume!(k < n);
+        prop_assert_eq!(
+            binomial_u128(n, k),
+            binomial_u128(n - 1, k - 1) + binomial_u128(n - 1, k)
+        );
+    }
+
+    #[test]
+    fn ln_binomial_tracks_exact(n in 1u64..126, k in 0u64..126) {
+        prop_assume!(k <= n);
+        let exact = binomial_u128(n, k) as f64;
+        let ln = ln_binomial(n, k);
+        prop_assert!((ln.exp() - exact).abs() / exact < 1e-9);
+    }
+
+    #[test]
+    fn pmf_is_a_distribution(n in 1u64..100, p in 0.0f64..1.0) {
+        let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        for k in 0..=n {
+            let v = binomial_pmf(n, k, p);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn composition_is_bounded_and_monotone(
+        n in 1usize..40,
+        p in 0.001f64..0.2,
+        cut in 1usize..40,
+    ) {
+        prop_assume!(cut <= n);
+        // Step profile failing from k = cut.
+        let profile: Vec<f64> = (0..=n).map(|k| if k >= cut { 1.0 } else { 0.0 }).collect();
+        let v = compose_failure_probability(n as u64, p, &profile);
+        prop_assert!((0.0..=1.0).contains(&v));
+        // Failing earlier can only be worse.
+        if cut > 1 {
+            let earlier: Vec<f64> =
+                (0..=n).map(|k| if k >= cut - 1 { 1.0 } else { 0.0 }).collect();
+            let ve = compose_failure_probability(n as u64, p, &earlier);
+            prop_assert!(ve >= v - 1e-15);
+        }
+    }
+
+    #[test]
+    fn neumaier_matches_exact_integer_sums(xs in proptest::collection::vec(-1000i64..1000, 0..200)) {
+        let mut s = NeumaierSum::new();
+        for &x in &xs {
+            s.add(x as f64);
+        }
+        let exact: i64 = xs.iter().sum();
+        prop_assert_eq!(s.value(), exact as f64);
+    }
+
+    #[test]
+    fn bisect_finds_roots_of_shifted_cubics(shift in -8.0f64..8.0) {
+        // f(x) = x³ − shift has the unique real root cbrt(shift).
+        let root = bisect(|x| x * x * x - shift, Bracket::new(-3.0, 3.0), 1e-12, 300).unwrap();
+        prop_assert!((root - shift.cbrt()).abs() < 1e-9);
+    }
+}

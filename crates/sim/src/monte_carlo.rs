@@ -1,0 +1,181 @@
+//! Monte-Carlo reconstruction-failure sampling (paper §3).
+//!
+//! "The combinatorial expansion between (96 choose 1) and (96 choose 48) is
+//! not computationally tractable, so we test a subset of random failure
+//! cases for each number of lost devices." Each trial draws a uniform
+//! `k`-subset of nodes, takes it offline, and records whether the peeling
+//! decoder reconstructs all data.
+//!
+//! Sampling is deterministic in the configuration seed: trials are split
+//! into fixed-size batches, each seeded by `(seed, k, batch)`, so results
+//! are reproducible regardless of thread scheduling.
+
+use crate::profile::FailureProfile;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use tornado_codec::ErasureDecoder;
+use tornado_graph::Graph;
+
+/// Configuration for Monte-Carlo profiling.
+#[derive(Clone, Debug)]
+pub struct MonteCarloConfig {
+    /// Trials per offline-count `k`. The paper ran 10⁷–10⁸ per point; the
+    /// default here is laptop-scale and statistically adequate for the
+    /// profile *shape*.
+    pub trials_per_k: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Offline counts to sample; `None` means every `k` in `1..=n`.
+    pub ks: Option<Vec<usize>>,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        Self {
+            trials_per_k: 20_000,
+            seed: 0x7042_6F72_6E61_646F,
+            ks: None,
+        }
+    }
+}
+
+/// Trials per parallel batch (also the granularity of deterministic
+/// seeding).
+const BATCH: u64 = 4096;
+
+/// Estimates `P(fail | k offline)` for each requested `k` by uniform
+/// sampling, returning a [`FailureProfile`] with sampled rows.
+pub fn monte_carlo_profile(graph: &Graph, cfg: &MonteCarloConfig) -> FailureProfile {
+    let n = graph.num_nodes();
+    let ks: Vec<usize> = match &cfg.ks {
+        Some(ks) => ks.clone(),
+        None => (1..=n).collect(),
+    };
+    let mut profile = FailureProfile::new(n);
+    for &k in &ks {
+        assert!(k <= n, "k = {k} exceeds {n} nodes");
+        let failures = sample_level(graph, k, cfg.trials_per_k, cfg.seed);
+        profile.record(k, cfg.trials_per_k, failures, false);
+    }
+    profile
+}
+
+/// Samples one `k` level; returns the failure count.
+pub fn sample_level(graph: &Graph, k: usize, trials: u64, seed: u64) -> u64 {
+    let n = graph.num_nodes();
+    if k == 0 {
+        return 0;
+    }
+    let batches: Vec<(u64, u64)> = (0..trials.div_ceil(BATCH))
+        .map(|b| (b, BATCH.min(trials - b * BATCH)))
+        .collect();
+    batches
+        .into_par_iter()
+        .map(|(batch, count)| {
+            let mut rng = SmallRng::seed_from_u64(mix(seed, k as u64, batch));
+            let mut dec = ErasureDecoder::new(graph);
+            // Workhorse permutation array: a partial Fisher–Yates of the
+            // first k slots yields a uniform k-subset each trial.
+            let mut perm: Vec<usize> = (0..n).collect();
+            let mut failures = 0u64;
+            for _ in 0..count {
+                for i in 0..k {
+                    let j = rng.gen_range(i..n);
+                    perm.swap(i, j);
+                }
+                if !dec.decode(&perm[..k]) {
+                    failures += 1;
+                }
+            }
+            failures
+        })
+        .sum()
+}
+
+/// SplitMix64-style seed mixing so nearby `(seed, k, batch)` triples give
+/// unrelated streams.
+fn mix(seed: u64, k: u64, batch: u64) -> u64 {
+    let mut z = seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ batch.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tornado_gen::mirror::generate_mirror;
+    use tornado_gen::regular::generate_regular;
+
+    #[test]
+    fn zero_k_never_fails() {
+        let g = generate_mirror(4).unwrap();
+        assert_eq!(sample_level(&g, 0, 1000, 1), 0);
+    }
+
+    #[test]
+    fn losing_everything_always_fails() {
+        let g = generate_mirror(4).unwrap();
+        let trials = 500;
+        assert_eq!(sample_level(&g, 8, trials, 1), trials);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_seed() {
+        let g = generate_regular(12, 3, 1).unwrap();
+        let a = sample_level(&g, 8, 10_000, 42);
+        let b = sample_level(&g, 8, 10_000, 42);
+        let c = sample_level(&g, 8, 10_000, 43);
+        assert_eq!(a, b);
+        // Different seeds could coincide, but with 10k trials it is
+        // overwhelmingly unlikely the counts match exactly.
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mirror_sampled_fraction_matches_exact_combinatorics() {
+        // 4 pairs (8 nodes), k = 2: P(fail) = 4 / C(8,2) = 1/7.
+        let g = generate_mirror(4).unwrap();
+        let trials = 200_000u64;
+        let failures = sample_level(&g, 2, trials, 7);
+        let p = failures as f64 / trials as f64;
+        let expected = 1.0 / 7.0;
+        // Three-sigma band for a Bernoulli estimate.
+        let sigma = (expected * (1.0 - expected) / trials as f64).sqrt();
+        assert!(
+            (p - expected).abs() < 4.0 * sigma,
+            "sampled {p} vs exact {expected} (sigma {sigma})"
+        );
+    }
+
+    #[test]
+    fn profile_rows_are_sampled_not_exact() {
+        let g = generate_mirror(4).unwrap();
+        let cfg = MonteCarloConfig {
+            trials_per_k: 500,
+            seed: 5,
+            ks: Some(vec![2, 3]),
+        };
+        let p = monte_carlo_profile(&g, &cfg);
+        assert!(!p.entry(2).exact);
+        assert_eq!(p.entry(2).trials, 500);
+        assert_eq!(p.entry(4).trials, 0, "unrequested k untouched");
+    }
+
+    #[test]
+    fn fraction_is_monotone_in_k_for_mirrors() {
+        // More losses ⇒ higher failure fraction (statistically).
+        let g = generate_mirror(8).unwrap();
+        let cfg = MonteCarloConfig {
+            trials_per_k: 20_000,
+            seed: 11,
+            ks: None,
+        };
+        let p = monte_carlo_profile(&g, &cfg);
+        let f4 = p.entry(4).fraction();
+        let f8 = p.entry(8).fraction();
+        let f12 = p.entry(12).fraction();
+        assert!(f4 < f8 && f8 < f12, "{f4} {f8} {f12}");
+    }
+}

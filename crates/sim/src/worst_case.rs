@@ -1,0 +1,259 @@
+//! Exhaustive worst-case failure search (paper §3).
+//!
+//! "We detect worst case failure scenarios using a full combinatorial
+//! examination of lost nodes, starting with (96 choose 1) through
+//! (96 choose 6)." Every `k`-subset of nodes is taken offline and decoded;
+//! the failing subsets are the graph's *critical sets*, which the §3.3
+//! adjustment procedure consumes.
+//!
+//! The enumeration is split into contiguous rank ranges via the combinadic
+//! unranking in `tornado-bitset` and processed data-parallel with rayon —
+//! each worker owns its own allocation-free [`ErasureDecoder`].
+
+use crate::profile::FailureProfile;
+use rayon::prelude::*;
+use tornado_bitset::combinations::{binomial, chunk_ranges, CombinationIter};
+use tornado_codec::ErasureDecoder;
+use tornado_graph::Graph;
+
+/// Configuration for the worst-case search.
+#[derive(Clone, Copy, Debug)]
+pub struct WorstCaseConfig {
+    /// Highest `k` to examine (the paper used 6; `C(96, 6) ≈ 9.3 × 10⁸`
+    /// trials take a while — 4 or 5 are laptop-friendly defaults).
+    pub max_k: usize,
+    /// Maximum number of failing subsets to *collect* per `k` (counting is
+    /// always complete; collection is capped to bound memory).
+    pub collect_cap: usize,
+    /// Stop after the first `k` that exhibits failures (the adjustment loop
+    /// wants exactly the first-failure level; profiles want all levels).
+    pub stop_at_first_failure: bool,
+}
+
+impl Default for WorstCaseConfig {
+    fn default() -> Self {
+        Self {
+            max_k: 4,
+            collect_cap: 4096,
+            stop_at_first_failure: false,
+        }
+    }
+}
+
+/// Results for one `k` level.
+#[derive(Clone, Debug)]
+pub struct KLevelResult {
+    /// Number of nodes taken offline.
+    pub k: usize,
+    /// Total subsets examined (`C(n, k)`).
+    pub cases: u128,
+    /// Subsets whose reconstruction failed.
+    pub failures: u64,
+    /// The failing subsets, up to the collection cap, in lexicographic
+    /// order.
+    pub failure_sets: Vec<Vec<usize>>,
+    /// Whether `failure_sets` was truncated by the cap.
+    pub truncated: bool,
+}
+
+/// Full worst-case search report.
+#[derive(Clone, Debug)]
+pub struct WorstCaseReport {
+    /// Per-`k` results, ascending in `k`.
+    pub levels: Vec<KLevelResult>,
+}
+
+impl WorstCaseReport {
+    /// The worst-case failure scenario: smallest `k` with any failure.
+    pub fn first_failure(&self) -> Option<usize> {
+        self.levels.iter().find(|l| l.failures > 0).map(|l| l.k)
+    }
+
+    /// Folds the exact counts into a [`FailureProfile`] for `graph_nodes`
+    /// total nodes.
+    pub fn to_profile(&self, graph_nodes: usize) -> FailureProfile {
+        let mut p = FailureProfile::new(graph_nodes);
+        for l in &self.levels {
+            // Counts above u64 range cannot occur for the sizes this crate
+            // enumerates (C(96, 6) < 2^30).
+            p.record(l.k, l.cases as u64, l.failures, true);
+        }
+        p
+    }
+}
+
+/// Runs the exhaustive search over `k = 1..=cfg.max_k`.
+pub fn worst_case_search(graph: &Graph, cfg: &WorstCaseConfig) -> WorstCaseReport {
+    let n = graph.num_nodes();
+    let mut levels = Vec::with_capacity(cfg.max_k);
+    for k in 1..=cfg.max_k.min(n) {
+        let level = search_level(graph, k, cfg.collect_cap);
+        let found = level.failures > 0;
+        levels.push(level);
+        if found && cfg.stop_at_first_failure {
+            break;
+        }
+    }
+    WorstCaseReport { levels }
+}
+
+/// Exhaustively examines one `k` level.
+pub fn search_level(graph: &Graph, k: usize, collect_cap: usize) -> KLevelResult {
+    let n = graph.num_nodes();
+    let total = binomial(n as u64, k as u64);
+    // Enough chunks to keep all cores busy with balanced tails.
+    let chunks = (rayon::current_num_threads() * 8).max(1);
+    let ranges = chunk_ranges(n, k, chunks);
+
+    let (failures, mut sets, truncated) = ranges
+        .into_par_iter()
+        .map(|(start, len)| {
+            let mut dec = ErasureDecoder::new(graph);
+            let mut it = CombinationIter::from_rank(n, k, start);
+            let mut fail_count = 0u64;
+            let mut fail_sets: Vec<Vec<usize>> = Vec::new();
+            let mut truncated = false;
+            for _ in 0..len {
+                let combo = it.next_slice().expect("rank range stays in bounds");
+                if !dec.decode(combo) {
+                    fail_count += 1;
+                    if fail_sets.len() < collect_cap {
+                        fail_sets.push(combo.to_vec());
+                    } else {
+                        truncated = true;
+                    }
+                }
+            }
+            (fail_count, fail_sets, truncated)
+        })
+        .reduce(
+            || (0u64, Vec::new(), false),
+            |mut a, mut b| {
+                a.0 += b.0;
+                a.1.append(&mut b.1);
+                let over = a.1.len().saturating_sub(collect_cap) > 0;
+                if over {
+                    a.1.truncate(collect_cap);
+                }
+                (a.0, a.1, a.2 || b.2 || over)
+            },
+        );
+    sets.sort();
+    KLevelResult {
+        k,
+        cases: total,
+        failures,
+        failure_sets: sets,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tornado_gen::mirror::generate_mirror;
+    use tornado_gen::regular::generate_regular;
+    use tornado_graph::GraphBuilder;
+
+    #[test]
+    fn mirror_first_failure_is_two_with_exact_counts() {
+        // n mirrored pairs: failures at k are the subsets containing at
+        // least one complete pair.
+        let g = generate_mirror(6).unwrap(); // 12 nodes
+        let report = worst_case_search(&g, &WorstCaseConfig {
+            max_k: 3,
+            collect_cap: 1024,
+            stop_at_first_failure: false,
+        });
+        assert_eq!(report.first_failure(), Some(2));
+        let l2 = &report.levels[1];
+        assert_eq!(l2.cases, binomial(12, 2));
+        assert_eq!(l2.failures, 6, "exactly the six complete pairs");
+        assert_eq!(l2.failure_sets.len(), 6);
+        for s in &l2.failure_sets {
+            assert_eq!(s[1], s[0] + 6, "each failure is a data/mirror pair");
+        }
+        // k = 3: choose a complete pair plus any third node: 6 × 10 = 60.
+        let l3 = &report.levels[2];
+        assert_eq!(l3.failures, 60);
+    }
+
+    #[test]
+    fn stop_at_first_failure_halts_early() {
+        let g = generate_mirror(6).unwrap();
+        let report = worst_case_search(&g, &WorstCaseConfig {
+            max_k: 3,
+            collect_cap: 16,
+            stop_at_first_failure: true,
+        });
+        assert_eq!(report.levels.len(), 2, "stops after k = 2");
+        assert_eq!(report.first_failure(), Some(2));
+    }
+
+    #[test]
+    fn collection_cap_truncates_but_counts_fully() {
+        let g = generate_mirror(6).unwrap();
+        let level = search_level(&g, 3, 5);
+        assert_eq!(level.failures, 60);
+        assert_eq!(level.failure_sets.len(), 5);
+        assert!(level.truncated);
+    }
+
+    #[test]
+    fn single_node_losses_never_fail_on_sound_graphs() {
+        let g = generate_regular(12, 3, 7).unwrap();
+        let level = search_level(&g, 1, 10);
+        assert_eq!(level.cases, 24);
+        assert_eq!(level.failures, 0);
+    }
+
+    #[test]
+    fn known_defect_is_found_at_k2() {
+        // Two data nodes share exactly the same two checks.
+        let mut b = GraphBuilder::new(4);
+        b.begin_level("c");
+        b.add_check(&[0, 1]);
+        b.add_check(&[0, 1]);
+        b.add_check(&[2, 3]);
+        b.add_check(&[2]);
+        b.add_check(&[3]);
+        let g = b.build().unwrap();
+        let report = worst_case_search(&g, &WorstCaseConfig::default());
+        assert_eq!(report.first_failure(), Some(2));
+        assert!(report.levels[1]
+            .failure_sets
+            .contains(&vec![0usize, 1]));
+    }
+
+    #[test]
+    fn to_profile_marks_rows_exact() {
+        let g = generate_mirror(4).unwrap();
+        let report = worst_case_search(&g, &WorstCaseConfig {
+            max_k: 2,
+            ..Default::default()
+        });
+        let p = report.to_profile(8);
+        assert!(p.entry(1).exact);
+        assert_eq!(p.entry(1).failures, 0);
+        assert!(p.entry(2).exact);
+        assert_eq!(p.entry(2).failures, 4);
+        assert_eq!(p.entry(2).trials, 28);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        // The chunked parallel enumeration must count exactly like a naive
+        // serial scan.
+        let g = generate_regular(10, 3, 3).unwrap();
+        let level = search_level(&g, 3, usize::MAX);
+        let mut dec = tornado_codec::ErasureDecoder::new(&g);
+        let mut serial_failures = 0u64;
+        let mut it = CombinationIter::new(20, 3);
+        while let Some(c) = it.next_slice() {
+            if !dec.decode(c) {
+                serial_failures += 1;
+            }
+        }
+        assert_eq!(level.failures, serial_failures);
+    }
+}

@@ -1,0 +1,191 @@
+//! Large-object chunking.
+//!
+//! A single stripe spreads one object over all devices, so its per-device
+//! block grows linearly with object size. Archival systems cap block sizes
+//! and split large objects into multiple stripes instead; this module
+//! layers that on top of [`ArchivalStore`] without changing the stripe
+//! machinery: each chunk is an ordinary object, and a small binary
+//! *manifest* object records the sequence.
+//!
+//! Chunking also restores the paper's §3 sizing argument: "in a MAID
+//! system with 2000 disks, this allows several stripes to be accessed
+//! concurrently" — independent chunks decode independently.
+
+use crate::error::StoreError;
+use crate::store::{ArchivalStore, ObjectId};
+
+/// Magic tag marking a manifest payload.
+const MANIFEST_MAGIC: &[u8; 8] = b"TNDOMAN1";
+
+/// Serialises a chunk manifest: magic, chunk count, then `(id, size)`
+/// pairs.
+fn encode_manifest(chunks: &[(ObjectId, u64)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 8 + chunks.len() * 16);
+    out.extend_from_slice(MANIFEST_MAGIC);
+    out.extend_from_slice(&(chunks.len() as u64).to_le_bytes());
+    for &(id, size) in chunks {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&size.to_le_bytes());
+    }
+    out
+}
+
+/// Parses a manifest payload; `None` if it is not a manifest.
+fn decode_manifest(payload: &[u8]) -> Option<Vec<(ObjectId, u64)>> {
+    if payload.len() < 16 || &payload[..8] != MANIFEST_MAGIC {
+        return None;
+    }
+    let count = u64::from_le_bytes(payload[8..16].try_into().ok()?) as usize;
+    if payload.len() != 16 + count * 16 {
+        return None;
+    }
+    let mut chunks = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = 16 + i * 16;
+        let id = u64::from_le_bytes(payload[at..at + 8].try_into().ok()?);
+        let size = u64::from_le_bytes(payload[at + 8..at + 16].try_into().ok()?);
+        chunks.push((id, size));
+    }
+    Some(chunks)
+}
+
+/// Stores `payload` as ⌈len / chunk_bytes⌉ independent stripes plus a
+/// manifest; returns the manifest's object id. Objects at or below
+/// `chunk_bytes` are stored directly (no manifest), so the id is usable
+/// with either [`get_chunked`] or plain [`ArchivalStore::get`].
+///
+/// # Panics
+/// Panics if `chunk_bytes == 0`.
+pub fn put_chunked(
+    store: &ArchivalStore,
+    name: &str,
+    payload: &[u8],
+    chunk_bytes: usize,
+) -> Result<ObjectId, StoreError> {
+    assert!(chunk_bytes > 0, "chunk size must be positive");
+    if payload.len() <= chunk_bytes {
+        return store.put(name, payload);
+    }
+    let mut chunks = Vec::new();
+    for (i, chunk) in payload.chunks(chunk_bytes).enumerate() {
+        let id = store.put(&format!("{name}.chunk{i}"), chunk)?;
+        chunks.push((id, chunk.len() as u64));
+    }
+    store.put(&format!("{name}.manifest"), &encode_manifest(&chunks))
+}
+
+/// Retrieves an object stored by [`put_chunked`], transparently handling
+/// both manifest-backed and direct objects.
+pub fn get_chunked(store: &ArchivalStore, id: ObjectId) -> Result<Vec<u8>, StoreError> {
+    let payload = store.get(id)?;
+    let Some(chunks) = decode_manifest(&payload) else {
+        return Ok(payload);
+    };
+    let total: u64 = chunks.iter().map(|&(_, s)| s).sum();
+    let mut out = Vec::with_capacity(total as usize);
+    for (chunk_id, size) in chunks {
+        let chunk = store.get(chunk_id)?;
+        if chunk.len() as u64 != size {
+            return Err(StoreError::Unrecoverable {
+                id: chunk_id,
+                lost_blocks: vec![],
+            });
+        }
+        out.extend_from_slice(&chunk);
+    }
+    Ok(out)
+}
+
+/// Deletes a chunked object (manifest and all chunks). Also accepts direct
+/// objects.
+pub fn delete_chunked(store: &ArchivalStore, id: ObjectId) -> Result<(), StoreError> {
+    let payload = store.get(id)?;
+    if let Some(chunks) = decode_manifest(&payload) {
+        for (chunk_id, _) in chunks {
+            store.delete(chunk_id)?;
+        }
+    }
+    store.delete(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tornado_graph::GraphBuilder;
+
+    fn small_store() -> ArchivalStore {
+        let mut b = GraphBuilder::new(4);
+        b.begin_level("c1");
+        b.add_check(&[0, 1]);
+        b.add_check(&[2, 3]);
+        b.begin_level("c2");
+        b.add_check(&[4, 5]);
+        ArchivalStore::new(b.build().unwrap())
+    }
+
+    fn pattern(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 131 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn small_objects_bypass_the_manifest() {
+        let store = small_store();
+        let id = put_chunked(&store, "x", b"tiny", 1024).unwrap();
+        assert_eq!(get_chunked(&store, id).unwrap(), b"tiny");
+        assert_eq!(store.list().len(), 1, "no manifest for small objects");
+    }
+
+    #[test]
+    fn large_objects_split_and_reassemble() {
+        let store = small_store();
+        let payload = pattern(10_000);
+        let id = put_chunked(&store, "big", &payload, 1_000).unwrap();
+        assert_eq!(get_chunked(&store, id).unwrap(), payload);
+        // 10 chunks + 1 manifest.
+        assert_eq!(store.list().len(), 11);
+        // Per-device blocks stay capped near the chunk size / k.
+        let meta = store.meta(id).unwrap();
+        assert!(meta.name.ends_with(".manifest"));
+    }
+
+    #[test]
+    fn chunk_boundaries_are_exact() {
+        let store = small_store();
+        for len in [999usize, 1000, 1001, 2000, 2001] {
+            let payload = pattern(len);
+            let id = put_chunked(&store, &format!("o{len}"), &payload, 1000).unwrap();
+            assert_eq!(get_chunked(&store, id).unwrap(), payload, "len {len}");
+        }
+    }
+
+    #[test]
+    fn chunked_objects_survive_device_failures() {
+        let store = small_store();
+        let payload = pattern(5_000);
+        let id = put_chunked(&store, "big", &payload, 800).unwrap();
+        store.fail_device(2).unwrap();
+        assert_eq!(get_chunked(&store, id).unwrap(), payload);
+    }
+
+    #[test]
+    fn delete_removes_manifest_and_chunks() {
+        let store = small_store();
+        let id = put_chunked(&store, "big", &pattern(5_000), 1000).unwrap();
+        delete_chunked(&store, id).unwrap();
+        assert!(store.list().is_empty());
+    }
+
+    #[test]
+    fn manifest_roundtrip_encoding() {
+        let chunks = vec![(3u64, 100u64), (7, 42), (u64::MAX, 0)];
+        assert_eq!(decode_manifest(&encode_manifest(&chunks)).unwrap(), chunks);
+        assert_eq!(decode_manifest(b"not a manifest"), None);
+        assert_eq!(decode_manifest(b""), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_size_panics() {
+        put_chunked(&small_store(), "x", b"data", 0).unwrap();
+    }
+}

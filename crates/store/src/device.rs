@@ -1,0 +1,207 @@
+//! In-memory storage devices with failure injection.
+//!
+//! Each device stores named blocks and keeps access counters. Interior
+//! mutability (a `parking_lot::RwLock` per device) lets many readers hit
+//! different devices concurrently — the access pattern the guided
+//! retrieval planner optimises — while failure injection flips a device
+//! offline atomically.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Key of a stored block: `(object id, node index)`.
+pub type BlockKey = (u64, u32);
+
+/// Access/health counters for a device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Successful block reads served.
+    pub reads: u64,
+    /// Blocks written.
+    pub writes: u64,
+    /// Reads rejected because the device was offline.
+    pub failed_reads: u64,
+}
+
+#[derive(Debug, Default)]
+struct DeviceState {
+    online: bool,
+    blocks: HashMap<BlockKey, Vec<u8>>,
+    stats: DeviceStats,
+}
+
+/// One storage device.
+#[derive(Debug)]
+pub struct Device {
+    id: usize,
+    state: RwLock<DeviceState>,
+}
+
+impl Device {
+    /// A fresh, online, empty device.
+    pub fn new(id: usize) -> Self {
+        Self {
+            id,
+            state: RwLock::new(DeviceState {
+                online: true,
+                blocks: HashMap::new(),
+                stats: DeviceStats::default(),
+            }),
+        }
+    }
+
+    /// The device's pool index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Whether the device is serving requests.
+    pub fn is_online(&self) -> bool {
+        self.state.read().online
+    }
+
+    /// Takes the device offline, **destroying its contents** (the paper's
+    /// no-repair model treats a failed drive's data as gone).
+    pub fn fail(&self) {
+        let mut s = self.state.write();
+        s.online = false;
+        s.blocks.clear();
+    }
+
+    /// Brings the device back online (empty — a replacement drive).
+    pub fn replace(&self) {
+        let mut s = self.state.write();
+        s.online = true;
+        s.blocks.clear();
+    }
+
+    /// Writes a block. Silently ignored when offline (a real controller
+    /// would error; the store never writes to failed devices anyway).
+    pub fn write_block(&self, key: BlockKey, data: Vec<u8>) -> bool {
+        let mut s = self.state.write();
+        if !s.online {
+            return false;
+        }
+        s.stats.writes += 1;
+        s.blocks.insert(key, data);
+        true
+    }
+
+    /// Reads a block; `None` when offline or absent.
+    pub fn read_block(&self, key: &BlockKey) -> Option<Vec<u8>> {
+        let mut s = self.state.write();
+        if !s.online {
+            s.stats.failed_reads += 1;
+            return None;
+        }
+        let block = s.blocks.get(key).cloned();
+        if block.is_some() {
+            s.stats.reads += 1;
+        }
+        block
+    }
+
+    /// Whether a block exists (does not count as an access).
+    pub fn has_block(&self, key: &BlockKey) -> bool {
+        let s = self.state.read();
+        s.online && s.blocks.contains_key(key)
+    }
+
+    /// Removes a block; returns whether it existed.
+    pub fn delete_block(&self, key: &BlockKey) -> bool {
+        self.state.write().blocks.remove(key).is_some()
+    }
+
+    /// Silently corrupts a stored block (failure-injection helper for
+    /// integrity testing): XORs `mask` into the first byte. Returns whether
+    /// the block existed.
+    pub fn corrupt_block(&self, key: &BlockKey, mask: u8) -> bool {
+        let mut s = self.state.write();
+        match s.blocks.get_mut(key) {
+            Some(b) if !b.is_empty() => {
+                b[0] ^= mask;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Access counters snapshot.
+    pub fn stats(&self) -> DeviceStats {
+        self.state.read().stats
+    }
+
+    /// Number of blocks held.
+    pub fn block_count(&self) -> usize {
+        self.state.read().blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let d = Device::new(3);
+        assert!(d.write_block((1, 0), vec![1, 2, 3]));
+        assert_eq!(d.read_block(&(1, 0)), Some(vec![1, 2, 3]));
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.block_count(), 1);
+    }
+
+    #[test]
+    fn failure_destroys_contents() {
+        let d = Device::new(0);
+        d.write_block((1, 0), vec![9]);
+        d.fail();
+        assert!(!d.is_online());
+        assert_eq!(d.read_block(&(1, 0)), None);
+        assert_eq!(d.stats().failed_reads, 1);
+        d.replace();
+        assert!(d.is_online());
+        assert_eq!(d.read_block(&(1, 0)), None, "replacement is empty");
+        assert_eq!(d.block_count(), 0);
+    }
+
+    #[test]
+    fn offline_writes_are_rejected() {
+        let d = Device::new(0);
+        d.fail();
+        assert!(!d.write_block((1, 0), vec![1]));
+        d.replace();
+        assert!(d.write_block((1, 0), vec![1]));
+    }
+
+    #[test]
+    fn delete_and_has() {
+        let d = Device::new(0);
+        d.write_block((2, 5), vec![0]);
+        assert!(d.has_block(&(2, 5)));
+        assert!(d.delete_block(&(2, 5)));
+        assert!(!d.delete_block(&(2, 5)));
+        assert!(!d.has_block(&(2, 5)));
+    }
+
+    #[test]
+    fn concurrent_reads_from_many_threads() {
+        use std::sync::Arc;
+        let d = Arc::new(Device::new(0));
+        d.write_block((1, 1), vec![42; 128]);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        assert_eq!(d.read_block(&(1, 1)).unwrap()[0], 42);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(d.stats().reads, 800);
+    }
+}

@@ -1,0 +1,69 @@
+//! Store errors.
+
+use std::fmt;
+use tornado_codec::CodecError;
+
+/// Errors from the archival store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The requested object does not exist.
+    UnknownObject {
+        /// The object id requested.
+        id: u64,
+    },
+    /// Too many devices have failed: the object cannot be reconstructed.
+    Unrecoverable {
+        /// The object id.
+        id: u64,
+        /// Data block indices that could not be recovered.
+        lost_blocks: Vec<u32>,
+    },
+    /// A device index is out of range.
+    NoSuchDevice {
+        /// The offending index.
+        device: usize,
+        /// Devices in the pool.
+        pool_size: usize,
+    },
+    /// The underlying codec rejected the stripe (internal inconsistency).
+    Codec(CodecError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownObject { id } => write!(f, "object {id} does not exist"),
+            StoreError::Unrecoverable { id, lost_blocks } => write!(
+                f,
+                "object {id} unrecoverable: data blocks {lost_blocks:?} lost"
+            ),
+            StoreError::NoSuchDevice { device, pool_size } => {
+                write!(f, "device {device} out of range (pool has {pool_size})")
+            }
+            StoreError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StoreError::Unrecoverable {
+            id: 7,
+            lost_blocks: vec![1, 2],
+        };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains("[1, 2]"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Cross-crate property-based tests: random graphs, random erasure
+//! patterns, and the invariants that tie the layers together.
+
+use proptest::prelude::*;
+use tornado::codec::{Codec, ErasureDecoder};
+use tornado::graph::{graphml, Graph, GraphBuilder};
+
+/// Strategy: a small random cascaded graph — `num_data` data nodes, one or
+/// two check levels with random simple neighbour sets.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..10, 1usize..3, any::<u64>()).prop_map(|(num_data, levels, seed)| {
+        // Simple deterministic PRNG so shrinking stays meaningful.
+        let mut state = seed | 1;
+        let mut next = move |bound: usize| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as usize) % bound.max(1)
+        };
+        let mut b = GraphBuilder::new(num_data);
+        let mut prev_level: Vec<u32> = (0..num_data as u32).collect();
+        for li in 0..levels {
+            b.begin_level(&format!("c{li}"));
+            let size = (prev_level.len() / 2).max(1);
+            let mut new_level = Vec::new();
+            for _ in 0..size {
+                // 1..=3 distinct left neighbours from the previous level.
+                let want = 1 + next(3).min(prev_level.len() - 1);
+                let mut nbrs = Vec::new();
+                while nbrs.len() < want {
+                    let cand = prev_level[next(prev_level.len())];
+                    if !nbrs.contains(&cand) {
+                        nbrs.push(cand);
+                    }
+                }
+                new_level.push(b.add_check(&nbrs));
+            }
+            prev_level = new_level;
+        }
+        b.build().expect("constructed graphs are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GraphML serialisation round-trips every random graph exactly.
+    #[test]
+    fn graphml_roundtrip(g in arb_graph()) {
+        let xml = graphml::to_graphml(&g);
+        let back = graphml::from_graphml(&xml).expect("parse back");
+        prop_assert_eq!(&g, &back);
+        prop_assert_eq!(g.fingerprint(), back.fingerprint());
+    }
+
+    /// Whatever the erasure pattern, the byte-level codec and the
+    /// availability-only decoder agree about which data survives — and the
+    /// recovered bytes equal the originals.
+    #[test]
+    fn codec_agrees_with_erasure_decoder(
+        g in arb_graph(),
+        pattern_seed in any::<u64>(),
+        block_len in 1usize..64,
+    ) {
+        let codec = Codec::new(&g);
+        let data: Vec<Vec<u8>> = (0..g.num_data())
+            .map(|i| (0..block_len).map(|j| (i * 31 + j * 7) as u8).collect())
+            .collect();
+        let blocks = codec.encode(&data).expect("encode");
+
+        // Random erasure pattern from the seed.
+        let n = g.num_nodes();
+        let mut missing = Vec::new();
+        let mut s = pattern_seed | 1;
+        for i in 0..n {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            if s % 3 == 0 {
+                missing.push(i);
+            }
+        }
+
+        let mut dec = ErasureDecoder::new(&g);
+        let predicted = dec.decode_detailed(&missing);
+
+        let mut stored: Vec<Option<Vec<u8>>> = blocks.iter().cloned().map(Some).collect();
+        for &m in &missing {
+            stored[m] = None;
+        }
+        if missing.len() == n {
+            return Ok(()); // nothing present: the codec reports EmptyStripe
+        }
+        let report = codec.decode(&mut stored).expect("decode");
+        prop_assert_eq!(report.complete(), predicted.success);
+        prop_assert_eq!(&report.lost_data, &predicted.lost_data);
+        for i in 0..g.num_data() {
+            if !predicted.lost_data.contains(&(i as u32)) {
+                prop_assert_eq!(stored[i].as_deref().unwrap(), &data[i][..]);
+            }
+        }
+    }
+
+    /// Failure is monotone: if a pattern decodes, every subset of it
+    /// decodes too.
+    #[test]
+    fn decoding_is_monotone_in_erasures(
+        g in arb_graph(),
+        pattern_seed in any::<u64>(),
+    ) {
+        let n = g.num_nodes();
+        let mut missing = Vec::new();
+        let mut s = pattern_seed | 1;
+        for i in 0..n {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            if s % 2 == 0 {
+                missing.push(i);
+            }
+        }
+        let mut dec = ErasureDecoder::new(&g);
+        if dec.decode(&missing) {
+            // Dropping any single erasure must still decode.
+            for skip in 0..missing.len() {
+                let subset: Vec<usize> = missing
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != skip)
+                    .map(|(_, &m)| m)
+                    .collect();
+                prop_assert!(dec.decode(&subset), "subset failed where superset decoded");
+            }
+        } else {
+            // Adding erasures can never fix a failure.
+            for extra in 0..n {
+                if missing.contains(&extra) {
+                    continue;
+                }
+                let mut superset = missing.clone();
+                superset.push(extra);
+                prop_assert!(!dec.decode(&superset), "superset decoded where subset failed");
+            }
+        }
+    }
+
+    /// The retrieval planner is sound: fetching exactly its plan and
+    /// replaying its schedule reconstructs all data.
+    #[test]
+    fn retrieval_plan_is_sound(g in arb_graph(), pattern_seed in any::<u64>()) {
+        let n = g.num_nodes();
+        let mut s = pattern_seed | 1;
+        let available: Vec<u32> = (0..n as u32)
+            .filter(|_| {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                s % 4 != 0
+            })
+            .collect();
+        let Some(plan) = tornado::store::plan_retrieval(&g, &available) else {
+            // Planner said impossible — the decoder must agree.
+            let missing: Vec<usize> = (0..n)
+                .filter(|i| !available.contains(&(*i as u32)))
+                .collect();
+            let mut dec = ErasureDecoder::new(&g);
+            prop_assert!(!dec.decode(&missing));
+            return Ok(());
+        };
+        // Decode using ONLY the fetched blocks: everything else erased.
+        let codec = Codec::new(&g);
+        let data: Vec<Vec<u8>> = (0..g.num_data()).map(|i| vec![i as u8; 8]).collect();
+        let blocks = codec.encode(&data).expect("encode");
+        let mut stored: Vec<Option<Vec<u8>>> = vec![None; n];
+        for &f in &plan.fetch {
+            stored[f as usize] = Some(blocks[f as usize].clone());
+        }
+        let report = codec.decode(&mut stored).expect("decode");
+        prop_assert!(report.complete(), "plan-restricted decode failed");
+        for i in 0..g.num_data() {
+            prop_assert_eq!(stored[i].as_deref().unwrap(), &data[i][..]);
+        }
+    }
+}
