@@ -1,24 +1,119 @@
 //! Latency of one availability-only decode trial — the quantum of the
 //! worst-case search and Monte-Carlo suites (§3's 962 M test cases are
 //! exactly this operation).
+//!
+//! Every group runs A/B: `dense` is the retained pre-sparse reference
+//! kernel (`tornado_codec::reference::DenseDecoder`, full O(n) reset +
+//! all-checks seeding), `sparse` is the epoch-stamped kernel. The
+//! `lex_sweep` group additionally exercises the shared-prefix path the
+//! worst-case search uses, and `unrank` isolates the combinadic
+//! enumeration cost to show it stays a small fraction of a k = 4 trial
+//! (see the `combination_overhead` bin check in
+//! `src/bin/bench_decode_trial.rs`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use tornado_bitset::combinations::{binomial, CombinationIter};
+use tornado_codec::reference::DenseDecoder;
 use tornado_codec::ErasureDecoder;
 
 fn bench_decode_trial(c: &mut Criterion) {
     let graph = tornado_core::tornado_graph_1();
-    let mut dec = ErasureDecoder::new(&graph);
+    let mut sparse = ErasureDecoder::new(&graph);
+    let mut dense = DenseDecoder::new(&graph);
     let mut group = c.benchmark_group("decode_trial");
     for &k in &[1usize, 4, 16, 48] {
         // A deterministic spread-out pattern of k losses.
         let missing: Vec<usize> = (0..k).map(|i| (i * 53) % 96).collect();
-        group.bench_with_input(BenchmarkId::new("erasures", k), &missing, |b, missing| {
-            b.iter(|| black_box(dec.decode(black_box(missing))))
+        group.bench_with_input(BenchmarkId::new("sparse", k), &missing, |b, missing| {
+            b.iter(|| black_box(sparse.decode(black_box(missing))))
+        });
+        group.bench_with_input(BenchmarkId::new("dense", k), &missing, |b, missing| {
+            b.iter(|| black_box(dense.decode(black_box(missing))))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_decode_trial);
+/// The worst-case search inner loop: a lexicographic slice of `C(96, k)`,
+/// one decode per combination. The sparse side re-marks the shared prefix
+/// only when it changes; the dense side pays a full reset every trial.
+fn bench_lex_sweep(c: &mut Criterion) {
+    let graph = tornado_core::tornado_graph_1();
+    let n = graph.num_nodes();
+    let mut sparse = ErasureDecoder::new(&graph);
+    let mut dense = DenseDecoder::new(&graph);
+    let mut group = c.benchmark_group("lex_sweep");
+    for &k in &[2usize, 4] {
+        const TRIALS: u64 = 4096;
+        // Start mid-sequence so prefixes are non-trivial, but never so late
+        // that the sweep runs off the end of C(n, k) (matters at k = 2).
+        let total = binomial(n as u64, k as u64);
+        let start = (total / 3).min(total - u128::from(TRIALS));
+        group.throughput(Throughput::Elements(TRIALS));
+        group.bench_function(BenchmarkId::new("sparse_prefix_reuse", k), |b| {
+            b.iter(|| {
+                let mut it = CombinationIter::from_rank(n, k, start);
+                let mut prefix: Vec<usize> = vec![usize::MAX];
+                let mut failures = 0u64;
+                for _ in 0..TRIALS {
+                    let combo = it.next_slice().unwrap();
+                    let split = k - 1;
+                    if combo[..split] != prefix[..] {
+                        sparse.begin_pattern(&combo[..split]);
+                        prefix.clear();
+                        prefix.extend_from_slice(&combo[..split]);
+                    }
+                    failures += u64::from(!sparse.decode_tail(&combo[split..]));
+                }
+                black_box(failures)
+            })
+        });
+        group.bench_function(BenchmarkId::new("sparse_one_shot", k), |b| {
+            b.iter(|| {
+                let mut it = CombinationIter::from_rank(n, k, start);
+                let mut failures = 0u64;
+                for _ in 0..TRIALS {
+                    failures += u64::from(!sparse.decode(it.next_slice().unwrap()));
+                }
+                black_box(failures)
+            })
+        });
+        group.bench_function(BenchmarkId::new("dense", k), |b| {
+            b.iter(|| {
+                let mut it = CombinationIter::from_rank(n, k, start);
+                let mut failures = 0u64;
+                for _ in 0..TRIALS {
+                    failures += u64::from(!dense.decode(it.next_slice().unwrap()));
+                }
+                black_box(failures)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Combinadic enumeration alone: `next_slice` must stay well under 5% of a
+/// k = 4 sparse trial for the data-parallel split to be effectively free.
+fn bench_unrank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unrank");
+    const TRIALS: u64 = 4096;
+    group.throughput(Throughput::Elements(TRIALS));
+    group.bench_function("next_slice_k4", |b| {
+        b.iter(|| {
+            let mut it = CombinationIter::from_rank(96, 4, binomial(96, 4) / 3);
+            let mut acc = 0usize;
+            for _ in 0..TRIALS {
+                acc ^= it.next_slice().unwrap()[3];
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("from_rank_k4", |b| {
+        b.iter(|| black_box(CombinationIter::from_rank(96, 4, black_box(1_234_567))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode_trial, bench_lex_sweep, bench_unrank);
 criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Measures the decode-trial A/B (dense reference kernel vs sparse
+//! epoch-stamped kernel) on the 96-node catalog graph and writes
+//! `BENCH_decode_trial.json` at the repository root.
+//!
+//! The headline number is the k = 4 lexicographic sweep — the exact shape
+//! of the worst-case search inner loop — where the sparse kernel must be
+//! ≥ 3× the dense baseline. The combinadic enumeration share is also
+//! checked: `CombinationIter::next_slice` must cost < 5% of a k = 4 sparse
+//! trial.
+//!
+//! Usage: `cargo run --release -p tornado-bench --bin bench_decode_trial`
+//! (pass `--check` to only verify invariants without rewriting the JSON,
+//! as CI does; debug builds refuse to write since their numbers are
+//! meaningless).
+
+use std::time::Instant;
+use tornado_bitset::combinations::{binomial, CombinationIter};
+use tornado_codec::reference::DenseDecoder;
+use tornado_codec::ErasureDecoder;
+
+/// Median ns per inner iteration of `f` (which must run `batch` iterations
+/// per call), over `samples` timed calls after one warmup call.
+fn measure(batch: u64, samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup: touch caches, fault pages
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    per_iter[per_iter.len() / 2]
+}
+
+struct Case {
+    name: &'static str,
+    dense_ns: f64,
+    sparse_ns: f64,
+}
+
+impl Case {
+    fn speedup(&self) -> f64 {
+        self.dense_ns / self.sparse_ns
+    }
+}
+
+fn main() {
+    let check_only = std::env::args().any(|a| a == "--check");
+    let graph = tornado_core::tornado_graph_1();
+    let n = graph.num_nodes();
+    let mut sparse = ErasureDecoder::new(&graph);
+    let mut dense = DenseDecoder::new(&graph);
+    let samples = 9;
+    let mut cases: Vec<Case> = Vec::new();
+
+    // Fixed-pattern single trials.
+    for k in [1usize, 4] {
+        let missing: Vec<usize> = (0..k).map(|i| (i * 53) % 96).collect();
+        let batch = 20_000u64;
+        let sparse_ns = measure(batch, samples, || {
+            for _ in 0..batch {
+                std::hint::black_box(sparse.decode(std::hint::black_box(&missing)));
+            }
+        });
+        let dense_ns = measure(batch, samples, || {
+            for _ in 0..batch {
+                std::hint::black_box(dense.decode(std::hint::black_box(&missing)));
+            }
+        });
+        cases.push(Case {
+            name: if k == 1 { "single_k1" } else { "single_k4" },
+            dense_ns,
+            sparse_ns,
+        });
+    }
+
+    // Lexicographic sweep (the worst-case search inner loop), k = 4.
+    let batch = 65_536u64;
+    let start = binomial(n as u64, 4) / 3;
+    let sweep_sparse_ns = measure(batch, samples, || {
+        let mut it = CombinationIter::from_rank(n, 4, start);
+        let mut prefix: Vec<usize> = vec![usize::MAX];
+        let mut failures = 0u64;
+        for _ in 0..batch {
+            let combo = it.next_slice().unwrap();
+            if combo[..3] != prefix[..] {
+                sparse.begin_pattern(&combo[..3]);
+                prefix.clear();
+                prefix.extend_from_slice(&combo[..3]);
+            }
+            failures += u64::from(!sparse.decode_tail(&combo[3..]));
+        }
+        std::hint::black_box(failures);
+    });
+    let sweep_dense_ns = measure(batch, samples, || {
+        let mut it = CombinationIter::from_rank(n, 4, start);
+        let mut failures = 0u64;
+        for _ in 0..batch {
+            failures += u64::from(!dense.decode(it.next_slice().unwrap()));
+        }
+        std::hint::black_box(failures);
+    });
+    cases.push(Case {
+        name: "lex_sweep_k4",
+        dense_ns: sweep_dense_ns,
+        sparse_ns: sweep_sparse_ns,
+    });
+
+    // Combinadic enumeration share of a k = 4 sparse sweep trial.
+    let unrank_ns = measure(batch, samples, || {
+        let mut it = CombinationIter::from_rank(n, 4, start);
+        let mut acc = 0usize;
+        for _ in 0..batch {
+            acc ^= it.next_slice().unwrap()[3];
+        }
+        std::hint::black_box(acc);
+    });
+    let unrank_share = unrank_ns / sweep_sparse_ns;
+
+    let headline = cases.iter().find(|c| c.name == "lex_sweep_k4").unwrap();
+    let target_met = headline.speedup() >= 3.0;
+
+    println!("graph: tornado_graph_1 ({n} nodes), {samples} samples/case");
+    for c in &cases {
+        println!(
+            "  {:<14} dense {:>8.1} ns/trial   sparse {:>8.1} ns/trial   speedup {:>5.2}x",
+            c.name,
+            c.dense_ns,
+            c.sparse_ns,
+            c.speedup()
+        );
+    }
+    println!(
+        "  unrank         {:>8.1} ns/step = {:.1}% of a sparse k=4 sweep trial (budget 5%)",
+        unrank_ns,
+        unrank_share * 100.0
+    );
+    println!(
+        "  target: sparse >= 3x dense on lex_sweep_k4 -> {}",
+        if target_met { "MET" } else { "NOT MET" }
+    );
+
+    assert!(
+        unrank_share < 0.05,
+        "combination enumeration costs {:.1}% of a k=4 trial (budget 5%)",
+        unrank_share * 100.0
+    );
+
+    if cfg!(debug_assertions) {
+        println!("debug build: numbers are meaningless, not writing JSON");
+        return;
+    }
+    assert!(
+        target_met,
+        "lex_sweep_k4 speedup {:.2}x is below the 3x floor",
+        headline.speedup()
+    );
+    if check_only {
+        println!("--check: invariants hold, JSON left untouched");
+        return;
+    }
+
+    // Hand-formatted JSON (the workspace deliberately has no serde).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"decode_trial\",\n");
+    json.push_str("  \"graph\": \"tornado_graph_1 (96 nodes, 48 data)\",\n");
+    json.push_str("  \"mode\": \"release\",\n");
+    json.push_str(&format!("  \"samples_per_case\": {samples},\n"));
+    json.push_str("  \"units\": \"ns_per_trial\",\n");
+    json.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"case\": \"{}\", \"dense\": {:.1}, \"sparse\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            c.name,
+            c.dense_ns,
+            c.sparse_ns,
+            c.speedup(),
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"unrank_ns_per_step\": {unrank_ns:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"unrank_share_of_sparse_k4_trial\": {unrank_share:.4},\n"
+    ));
+    json.push_str("  \"target\": \"sparse >= 3x dense on lex_sweep_k4\",\n");
+    json.push_str(&format!("  \"target_met\": {target_met}\n"));
+    json.push_str("}\n");
+
+    // The bin lives two levels below the workspace root.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decode_trial.json");
+    std::fs::write(out, json).expect("write BENCH_decode_trial.json");
+    println!("wrote {out}");
+}

@@ -20,6 +20,7 @@
 /// assert_eq!(binomial(96, 4), 3_321_960);
 /// assert_eq!(binomial(96, 5), 61_124_064);
 /// ```
+#[must_use]
 pub fn binomial(n: u64, k: u64) -> u128 {
     if k > n {
         return 0;
@@ -50,6 +51,7 @@ pub struct CombinationIter {
 
 impl CombinationIter {
     /// Starts at the lexicographically first combination `[0, 1, .., k-1]`.
+    #[must_use]
     pub fn new(n: usize, k: usize) -> Self {
         Self {
             n,
@@ -61,6 +63,7 @@ impl CombinationIter {
 
     /// Starts at the combination with the given lexicographic `rank`
     /// (`0 ≤ rank < C(n, k)`).
+    #[must_use]
     pub fn from_rank(n: usize, k: usize, rank: u128) -> Self {
         let indices = unrank(n, k, rank);
         Self {
@@ -74,6 +77,11 @@ impl CombinationIter {
     /// Advances to the next combination and returns it as a sorted slice,
     /// or `None` when exhausted. The first call returns the starting
     /// combination itself.
+    ///
+    /// `#[inline]` is load-bearing: the worst-case search calls this once
+    /// per decode trial, and inlining lets the common case (only the last
+    /// index advances) fold into the caller's loop with no branch to the
+    /// reset tail.
     #[inline]
     pub fn next_slice(&mut self) -> Option<&[usize]> {
         if self.done {
@@ -104,6 +112,13 @@ impl CombinationIter {
         for j in i + 1..k {
             self.indices[j] = self.indices[j - 1] + 1;
         }
+        debug_assert!(
+            self.indices.windows(2).all(|w| w[0] < w[1])
+                && self.indices.last().is_none_or(|&last| last < self.n),
+            "advance broke the sorted-in-range invariant: {:?} (n = {})",
+            self.indices,
+            self.n
+        );
         Some(&self.indices)
     }
 }
@@ -188,7 +203,10 @@ pub fn unrank(n: usize, k: usize, mut rank: u128) -> Vec<usize> {
 /// contiguous `(start_rank, len)` ranges of near-equal size.
 ///
 /// Used by the parallel worst-case search: each range is enumerated
-/// independently via [`CombinationIter::from_rank`].
+/// independently via [`CombinationIter::from_rank`]. Ranges are returned
+/// in ascending rank order and partition `0..C(n, k)` exactly — the
+/// deterministic capped collection in the search relies on both.
+#[must_use]
 pub fn chunk_ranges(n: usize, k: usize, chunks: usize) -> Vec<(u128, u128)> {
     let total = binomial(n as u64, k as u64);
     if total == 0 || chunks == 0 {
@@ -204,6 +222,8 @@ pub fn chunk_ranges(n: usize, k: usize, chunks: usize) -> Vec<(u128, u128)> {
         out.push((start, len));
         start += len;
     }
+    debug_assert_eq!(start, total, "ranges must partition the rank space");
+    debug_assert!(out.iter().all(|&(_, len)| len > 0), "no empty ranges");
     out
 }
 

@@ -54,7 +54,7 @@ proptest! {
         let mut stored: Vec<Option<Vec<u8>>> = vec![None; n];
         let mut kept = 0;
         for i in 0..n {
-            if kept < k - 1 && (i + keep) % 2 == 0 {
+            if kept < k - 1 && (i + keep).is_multiple_of(2) {
                 stored[i] = Some(blocks[i].clone());
                 kept += 1;
             }

@@ -1,0 +1,61 @@
+//! Fixed-seed regression pins for the worst-case search.
+//!
+//! The sparse-reset kernel rewrite made `search_level` deterministic across
+//! runs and thread counts; these tests pin its exact outputs — counts *and*
+//! the lexicographically smallest collected failure sets — so any future
+//! change to the kernel, the seeding lemma, or the capped collection shows
+//! up as a diff here rather than as silent drift.
+
+use tornado_core::tornado_graph_1;
+use tornado_gen::regular::generate_regular;
+use tornado_sim::worst_case::search_level;
+
+#[test]
+fn catalog_graph_1_is_clean_through_k3() {
+    // Certified first failure at 5; the cheap levels must stay spotless.
+    let g = tornado_graph_1();
+    for (k, cases) in [(1usize, 96u128), (2, 4560), (3, 142_880)] {
+        let level = search_level(&g, k, 8);
+        assert_eq!(level.cases, cases, "k={k}");
+        assert_eq!(level.failures, 0, "k={k}");
+        assert!(level.failure_sets.is_empty(), "k={k}");
+        assert!(!level.truncated, "k={k}");
+    }
+}
+
+#[test]
+fn seeded_regular_graph_failure_counts_are_pinned() {
+    // generate_regular(12, 3, 7) is fully determined by the seed; its
+    // failure surface was measured once and must never drift.
+    let g = generate_regular(12, 3, 7).unwrap();
+
+    for k in 2..=3usize {
+        let level = search_level(&g, k, 8);
+        assert_eq!(level.failures, 0, "k={k}");
+    }
+
+    let l4 = search_level(&g, 4, 3);
+    assert_eq!(l4.failures, 20);
+    assert!(l4.truncated);
+    assert_eq!(
+        l4.failure_sets,
+        vec![
+            vec![0, 15, 19, 21],
+            vec![1, 2, 13, 15],
+            vec![1, 12, 13, 20],
+        ],
+        "lex-smallest collected sets under the cap"
+    );
+
+    let l5 = search_level(&g, 5, 3);
+    assert_eq!(l5.failures, 405);
+    assert!(l5.truncated);
+    assert_eq!(
+        l5.failure_sets,
+        vec![
+            vec![0, 1, 2, 13, 15],
+            vec![0, 1, 12, 13, 20],
+            vec![0, 1, 15, 19, 21],
+        ],
+    );
+}

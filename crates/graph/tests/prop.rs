@@ -12,8 +12,8 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
         .prop_map(|(num_data, picks)| {
             let mut b = GraphBuilder::new(num_data);
             b.begin_level("l0");
-            let mut total = num_data as u32;
             for (i, seed) in picks.iter().enumerate() {
+                let total = num_data as u32 + i as u32;
                 if i > 0 && seed % 5 == 0 {
                     b.begin_level(&format!("l{i}"));
                 }
@@ -31,7 +31,6 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
                     }
                 }
                 b.add_check(&nbrs);
-                total += 1;
             }
             b.build().expect("constructed graphs are valid")
         })

@@ -67,29 +67,41 @@ pub fn sample_level(graph: &Graph, k: usize, trials: u64, seed: u64) -> u64 {
     if k == 0 {
         return 0;
     }
-    let batches: Vec<(u64, u64)> = (0..trials.div_ceil(BATCH))
-        .map(|b| (b, BATCH.min(trials - b * BATCH)))
-        .collect();
-    batches
+    (0..trials.div_ceil(BATCH))
         .into_par_iter()
-        .map(|(batch, count)| {
-            let mut rng = SmallRng::seed_from_u64(mix(seed, k as u64, batch));
-            let mut dec = ErasureDecoder::new(graph);
-            // Workhorse permutation array: a partial Fisher–Yates of the
-            // first k slots yields a uniform k-subset each trial.
-            let mut perm: Vec<usize> = (0..n).collect();
-            let mut failures = 0u64;
-            for _ in 0..count {
-                for i in 0..k {
-                    let j = rng.gen_range(i..n);
-                    perm.swap(i, j);
+        .map_init(
+            // Decoder and permutation scratch are per worker thread, reused
+            // across every batch that lands on it.
+            || {
+                let dec = ErasureDecoder::new(graph);
+                let perm: Vec<usize> = (0..n).collect();
+                (dec, perm)
+            },
+            |(dec, perm), batch| {
+                // Determinism lives in the per-batch reseed, not in which
+                // worker runs the batch — but the hoisted permutation must
+                // restart from identity or the k-subset drawn would depend
+                // on the batches this worker saw before.
+                let mut rng = SmallRng::seed_from_u64(mix(seed, k as u64, batch));
+                for (i, p) in perm.iter_mut().enumerate() {
+                    *p = i;
                 }
-                if !dec.decode(&perm[..k]) {
-                    failures += 1;
+                let count = BATCH.min(trials - batch * BATCH);
+                let mut failures = 0u64;
+                for _ in 0..count {
+                    // Partial Fisher–Yates of the first k slots yields a
+                    // uniform k-subset each trial.
+                    for i in 0..k {
+                        let j = rng.gen_range(i..n);
+                        perm.swap(i, j);
+                    }
+                    if !dec.decode(&perm[..k]) {
+                        failures += 1;
+                    }
                 }
-            }
-            failures
-        })
+                failures
+            },
+        )
         .sum()
 }
 
@@ -131,6 +143,22 @@ mod tests {
         // Different seeds could coincide, but with 10k trials it is
         // overwhelmingly unlikely the counts match exactly.
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_across_thread_counts() {
+        // The hoisted per-worker scratch must not let results depend on
+        // which batches a worker happens to execute.
+        let g = generate_regular(12, 3, 1).unwrap();
+        let baseline = sample_level(&g, 8, 10_000, 42);
+        for threads in [1usize, 2, 5] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let got = pool.install(|| sample_level(&g, 8, 10_000, 42));
+            assert_eq!(got, baseline, "thread count {threads} changed the count");
+        }
     }
 
     #[test]

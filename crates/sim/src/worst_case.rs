@@ -98,6 +98,15 @@ pub fn worst_case_search(graph: &Graph, cfg: &WorstCaseConfig) -> WorstCaseRepor
 }
 
 /// Exhaustively examines one `k` level.
+///
+/// Deterministic regardless of thread count or scheduling: each rank range
+/// collects its lexicographically first failures (up to `collect_cap`),
+/// ranges are concatenated in rank order — which *is* lexicographic order —
+/// and only the final concatenation is truncated. Since every set in the
+/// global lex-smallest `collect_cap` is also within its own range's
+/// smallest `collect_cap`, the kept sets are exactly the globally smallest
+/// ones, run after run. (The previous implementation truncated inside the
+/// reduction, so the survivors depended on the merge-tree shape.)
 pub fn search_level(graph: &Graph, k: usize, collect_cap: usize) -> KLevelResult {
     let n = graph.num_nodes();
     let total = binomial(n as u64, k as u64);
@@ -105,40 +114,47 @@ pub fn search_level(graph: &Graph, k: usize, collect_cap: usize) -> KLevelResult
     let chunks = (rayon::current_num_threads() * 8).max(1);
     let ranges = chunk_ranges(n, k, chunks);
 
-    let (failures, mut sets, truncated) = ranges
+    let (failures, mut sets) = ranges
         .into_par_iter()
-        .map(|(start, len)| {
-            let mut dec = ErasureDecoder::new(graph);
-            let mut it = CombinationIter::from_rank(n, k, start);
-            let mut fail_count = 0u64;
-            let mut fail_sets: Vec<Vec<usize>> = Vec::new();
-            let mut truncated = false;
-            for _ in 0..len {
-                let combo = it.next_slice().expect("rank range stays in bounds");
-                if !dec.decode(combo) {
-                    fail_count += 1;
-                    if fail_sets.len() < collect_cap {
-                        fail_sets.push(combo.to_vec());
-                    } else {
-                        truncated = true;
+        .map_init(
+            // One decoder per worker thread, reused across its rank ranges.
+            || ErasureDecoder::new(graph),
+            |dec, (start, len)| {
+                let mut it = CombinationIter::from_rank(n, k, start);
+                let mut fail_count = 0u64;
+                let mut fail_sets: Vec<Vec<usize>> = Vec::new();
+                // Consecutive combinations share their first k-1 elements
+                // until the tail wraps; re-mark the prefix only on change.
+                let mut prefix: Vec<usize> = vec![usize::MAX];
+                for _ in 0..len {
+                    let combo = it.next_slice().expect("rank range stays in bounds");
+                    let split = combo.len().saturating_sub(1);
+                    if combo[..split] != prefix[..] {
+                        dec.begin_pattern(&combo[..split]);
+                        prefix.clear();
+                        prefix.extend_from_slice(&combo[..split]);
+                    }
+                    if !dec.decode_tail(&combo[split..]) {
+                        fail_count += 1;
+                        if fail_sets.len() < collect_cap {
+                            fail_sets.push(combo.to_vec());
+                        }
                     }
                 }
-            }
-            (fail_count, fail_sets, truncated)
-        })
+                (fail_count, fail_sets)
+            },
+        )
         .reduce(
-            || (0u64, Vec::new(), false),
+            || (0u64, Vec::new()),
             |mut a, mut b| {
                 a.0 += b.0;
                 a.1.append(&mut b.1);
-                let over = a.1.len().saturating_sub(collect_cap) > 0;
-                if over {
-                    a.1.truncate(collect_cap);
-                }
-                (a.0, a.1, a.2 || b.2 || over)
+                (a.0, a.1)
             },
         );
-    sets.sort();
+    debug_assert!(sets.is_sorted(), "rank-ordered ranges concatenate in lex order");
+    sets.truncate(collect_cap);
+    let truncated = failures > sets.len() as u64;
     KLevelResult {
         k,
         cases: total,
@@ -238,6 +254,56 @@ mod tests {
         assert!(p.entry(2).exact);
         assert_eq!(p.entry(2).failures, 4);
         assert_eq!(p.entry(2).trials, 28);
+    }
+
+    #[test]
+    fn capped_collection_is_deterministic_across_runs() {
+        // 60 failures at k = 3, cap 7: every run must keep the same seven
+        // lexicographically smallest sets (the old mid-reduce truncation
+        // kept whichever sets the merge tree happened to see first).
+        let g = generate_mirror(6).unwrap();
+        let first = search_level(&g, 3, 7);
+        assert_eq!(first.failures, 60);
+        assert_eq!(first.failure_sets.len(), 7);
+        assert!(first.truncated);
+        let mut sorted = first.failure_sets.clone();
+        sorted.sort();
+        assert_eq!(first.failure_sets, sorted, "kept sets are in lex order");
+        for _ in 0..5 {
+            let again = search_level(&g, 3, 7);
+            assert_eq!(again.failure_sets, first.failure_sets);
+            assert_eq!(again.failures, first.failures);
+        }
+    }
+
+    #[test]
+    fn capped_collection_is_deterministic_across_thread_counts() {
+        let g = generate_mirror(6).unwrap();
+        let baseline = search_level(&g, 3, 7);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let level = pool.install(|| search_level(&g, 3, 7));
+            assert_eq!(
+                level.failure_sets, baseline.failure_sets,
+                "thread count {threads} changed the collected sets"
+            );
+            assert_eq!(level.failures, baseline.failures);
+            assert_eq!(level.truncated, baseline.truncated);
+        }
+    }
+
+    #[test]
+    fn uncapped_collection_keeps_every_failure_in_lex_order() {
+        let g = generate_mirror(6).unwrap();
+        let level = search_level(&g, 2, usize::MAX);
+        assert_eq!(level.failures as usize, level.failure_sets.len());
+        assert!(!level.truncated);
+        let mut sorted = level.failure_sets.clone();
+        sorted.sort();
+        assert_eq!(level.failure_sets, sorted);
     }
 
     #[test]

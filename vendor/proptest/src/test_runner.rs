@@ -1,0 +1,82 @@
+//! Test configuration and the deterministic per-test RNG.
+
+/// Subset of `proptest::test_runner::Config` used by the workspace.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic RNG (xoshiro256++) seeded from the test's name, so every
+/// run of a property samples the same cases — failures reproduce without a
+/// persistence file.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// An RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name, then SplitMix64 expansion.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut sm = h;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform value in `0..span` (`1 ≤ span ≤ 2⁶⁴`).
+    pub fn below(&mut self, span: u128) -> u64 {
+        debug_assert!(span >= 1);
+        if span > u64::MAX as u128 {
+            return self.next_u64();
+        }
+        ((self.next_u64() as u128 * span) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

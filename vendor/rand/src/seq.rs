@@ -1,0 +1,76 @@
+//! Slice sampling helpers (stand-in for `rand::seq`).
+
+use crate::{Rng, RngCore};
+
+/// Shuffling and element choice on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Uniform Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` when empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_deterministic_in_seed() {
+        let shuffled = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut v: Vec<usize> = (0..20).collect();
+            v.shuffle(&mut rng);
+            v
+        };
+        assert_eq!(shuffled(3), shuffled(3));
+        assert_ne!(shuffled(3), shuffled(4));
+    }
+
+    #[test]
+    fn choose_covers_all_and_handles_empty() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let v = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[*v.choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

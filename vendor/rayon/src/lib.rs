@@ -1,0 +1,333 @@
+//! Offline, API-compatible stand-in for the parts of `rayon` this
+//! workspace uses (see `vendor/README.md` for why it exists).
+//!
+//! Semantics differ from upstream in one deliberate way: combining
+//! operations (`reduce`, `sum`) fold results **in item order**, so any
+//! pipeline built on them is bit-deterministic regardless of thread count
+//! or scheduling. Execution is genuinely parallel: the item vector is split
+//! into one contiguous chunk per worker and processed on scoped OS threads.
+//!
+//! Only the *indexed, eager* subset of the rayon API is provided —
+//! `into_par_iter` on `Vec`/ranges, `map`, `map_init`, `filter`,
+//! `for_each`, `sum`, `reduce`, `collect` — which is exactly what the
+//! simulator's fan-out loops need. `map` is eager (it runs the closure for
+//! every item before returning), so chain cheap adapters accordingly.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+
+/// Everything needed to use the parallel iterator API.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|t| t.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Converts `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_into_par!(u32, u64, usize);
+
+/// An eager "parallel iterator" over a materialised item vector.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+/// Splits `items` into at most `parts` contiguous non-empty chunks.
+fn split_chunks<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let parts = parts.max(1).min(n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    // Split from the back so each split_off is O(moved tail).
+    let mut sizes: Vec<usize> = (0..parts)
+        .map(|i| base + usize::from(i < extra))
+        .collect();
+    while let Some(size) = sizes.pop() {
+        let at = items.len() - size;
+        out.push(items.split_off(at));
+    }
+    out.reverse();
+    out
+}
+
+impl<T: Send> ParIter<T> {
+    /// Runs `per_chunk` over contiguous chunks on scoped threads, preserving
+    /// chunk order in the output.
+    fn run_chunks<R, F>(self, per_chunk: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Vec<T>) -> Vec<R> + Sync,
+    {
+        let threads = current_num_threads();
+        if threads <= 1 || self.items.len() <= 1 {
+            return per_chunk(self.items);
+        }
+        let chunks = split_chunks(self.items, threads);
+        let per_chunk = &per_chunk;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || per_chunk(chunk)))
+                .collect();
+            let mut out = Vec::new();
+            for h in handles {
+                out.extend(h.join().expect("parallel worker panicked"));
+            }
+            out
+        })
+    }
+
+    /// Applies `f` to every item in parallel (eagerly), preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        let items = self.run_chunks(|chunk| chunk.into_iter().map(&f).collect());
+        ParIter { items }
+    }
+
+    /// Like [`ParIter::map`] but with per-worker state created by `init` —
+    /// the rayon idiom for hoisting scratch allocations out of the per-item
+    /// closure.
+    pub fn map_init<I, R, INIT, F>(self, init: INIT, f: F) -> ParIter<R>
+    where
+        R: Send,
+        INIT: Fn() -> I + Sync + Send,
+        F: Fn(&mut I, T) -> R + Sync + Send,
+    {
+        let items = self.run_chunks(|chunk| {
+            let mut state = init();
+            chunk.into_iter().map(|item| f(&mut state, item)).collect()
+        });
+        ParIter { items }
+    }
+
+    /// Keeps the items satisfying `pred`, preserving order.
+    pub fn filter<F>(self, pred: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync + Send,
+    {
+        let items = self.run_chunks(|chunk| chunk.into_iter().filter(&pred).collect());
+        ParIter { items }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        self.run_chunks(|chunk| {
+            chunk.into_iter().for_each(&f);
+            Vec::<()>::new()
+        });
+    }
+
+    /// Sums the items **in order** (deterministic for float sums too).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    /// Folds the items **in order** starting from `identity()`.
+    ///
+    /// Unlike upstream rayon (which combines partial results in scheduler
+    /// order), the fold order here is the item order, so the result is
+    /// deterministic even for non-commutative operators.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync + Send,
+        OP: Fn(T, T) -> T + Sync + Send,
+    {
+        self.items.into_iter().fold(identity(), &op)
+    }
+
+    /// Materialises into a collection.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<T>,
+    {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Builder for a fixed-size [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread count (0 means "automatic").
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// A scoped thread-count configuration: parallel operations run inside
+/// [`ThreadPool::install`] use this pool's thread count.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count installed on the current
+    /// thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|t| t.replace(Some(self.num_threads)));
+        let out = f();
+        POOL_THREADS.with(|t| t.set(prev));
+        out
+    }
+
+    /// This pool's worker-thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_reuses_state_per_worker() {
+        let counts: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .map_init(Vec::<usize>::new, |scratch, x| {
+                scratch.push(x);
+                scratch.len()
+            })
+            .collect();
+        // Within each worker chunk the scratch length strictly increases.
+        assert_eq!(counts.len(), 100);
+        assert!(counts[0] >= 1);
+    }
+
+    #[test]
+    fn sum_and_reduce_are_in_order() {
+        let v: Vec<u64> = (1..=100).collect();
+        let s: u64 = v.clone().into_par_iter().sum();
+        assert_eq!(s, 5050);
+        let r = v.into_par_iter().reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(r, 5050);
+    }
+
+    #[test]
+    fn reduce_is_deterministic_for_noncommutative_ops() {
+        // String concatenation order must match item order.
+        let v: Vec<String> = (0..50).map(|i| i.to_string()).collect();
+        let expect = v.concat();
+        let got = v
+            .into_par_iter()
+            .reduce(String::new, |mut a, b| {
+                a.push_str(&b);
+                a
+            });
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 1);
+        // Restored afterwards.
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_and_single_item_pipelines() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.into_par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+        let one: Vec<u32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn filter_and_for_each_work() {
+        let evens: Vec<usize> = (0..20usize).into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens.len(), 10);
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        (0..64usize).into_par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+}
