@@ -115,5 +115,49 @@ fn bench_unrank(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decode_trial, bench_lex_sweep, bench_unrank);
+/// Decode-metrics recorder A/B on the worst-case-search inner loop: the
+/// recorder is plain `u64` increments behind one branch, so the enabled
+/// side must track the disabled side within noise (the release bin check
+/// in `src/bin/bench_decode_trial.rs` enforces the 3% budget).
+fn bench_recording_overhead(c: &mut Criterion) {
+    let graph = tornado_core::tornado_graph_1();
+    let n = graph.num_nodes();
+    let mut sparse = ErasureDecoder::new(&graph);
+    let mut group = c.benchmark_group("recording_overhead");
+    const TRIALS: u64 = 4096;
+    let start = binomial(n as u64, 4) / 3;
+    group.throughput(Throughput::Elements(TRIALS));
+    for recording in [false, true] {
+        let name = if recording { "recording_on" } else { "recording_off" };
+        group.bench_function(BenchmarkId::new("lex_sweep", name), |b| {
+            sparse.set_recording(recording);
+            b.iter(|| {
+                let mut it = CombinationIter::from_rank(n, 4, start);
+                let mut prefix: Vec<usize> = vec![usize::MAX];
+                let mut failures = 0u64;
+                for _ in 0..TRIALS {
+                    let combo = it.next_slice().unwrap();
+                    if combo[..3] != prefix[..] {
+                        sparse.begin_pattern(&combo[..3]);
+                        prefix.clear();
+                        prefix.extend_from_slice(&combo[..3]);
+                    }
+                    failures += u64::from(!sparse.decode_tail(&combo[3..]));
+                }
+                black_box(failures)
+            });
+            sparse.set_recording(false);
+            black_box(sparse.take_cells());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decode_trial,
+    bench_lex_sweep,
+    bench_unrank,
+    bench_recording_overhead
+);
 criterion_main!(benches);

@@ -6,7 +6,8 @@
 //! of the worst-case search inner loop — where the sparse kernel must be
 //! ≥ 3× the dense baseline. The combinadic enumeration share is also
 //! checked: `CombinationIter::next_slice` must cost < 5% of a k = 4 sparse
-//! trial.
+//! trial. A third A/B runs the same sweep with the decode metrics recorder
+//! enabled (no sink attached); it must stay within 3% of recording-off.
 //!
 //! Usage: `cargo run --release -p tornado-bench --bin bench_decode_trial`
 //! (pass `--check` to only verify invariants without rewriting the JSON,
@@ -107,6 +108,57 @@ fn main() {
         sparse_ns: sweep_sparse_ns,
     });
 
+    // Observability A/B: the same k = 4 sweep with the decode recorder
+    // enabled (counters ticking, no sink attached). The recorder is plain
+    // u64 increments behind one branch, so it must stay within 3% of the
+    // recording-off sweep — keeping `--metrics` runs honest about speed.
+    // Clock-frequency and cache drift between distant measurements runs to
+    // ±10% here — far above the recorder's real cost — so the two sides are
+    // interleaved off/on per round and compared as a median of per-round
+    // ratios, which cancels any drift slower than one round.
+    let mut timed_sweep = |rec: bool| {
+        sparse.set_recording(rec);
+        let t = Instant::now();
+        let mut it = CombinationIter::from_rank(n, 4, start);
+        let mut prefix: Vec<usize> = vec![usize::MAX];
+        let mut failures = 0u64;
+        for _ in 0..batch {
+            let combo = it.next_slice().unwrap();
+            if combo[..3] != prefix[..] {
+                sparse.begin_pattern(&combo[..3]);
+                prefix.clear();
+                prefix.extend_from_slice(&combo[..3]);
+            }
+            failures += u64::from(!sparse.decode_tail(&combo[3..]));
+        }
+        std::hint::black_box(failures);
+        let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+        sparse.set_recording(false);
+        std::hint::black_box(sparse.take_cells());
+        ns
+    };
+    timed_sweep(false); // warmup
+    timed_sweep(true);
+    let mut off_ns = Vec::with_capacity(samples);
+    let mut on_ns = Vec::with_capacity(samples);
+    let mut ratios: Vec<f64> = (0..samples)
+        .map(|_| {
+            let off = timed_sweep(false);
+            let on = timed_sweep(true);
+            off_ns.push(off);
+            on_ns.push(on);
+            on / off
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    let sweep_off_ns = median(&mut off_ns);
+    let sweep_recording_ns = median(&mut on_ns);
+    let recording_overhead = ratios[ratios.len() / 2] - 1.0;
+
     // Combinadic enumeration share of a k = 4 sparse sweep trial.
     let unrank_ns = measure(batch, samples, || {
         let mut it = CombinationIter::from_rank(n, 4, start);
@@ -137,6 +189,12 @@ fn main() {
         unrank_share * 100.0
     );
     println!(
+        "  recording      {:>8.1} ns/trial (off {:>6.1}) = {:+.1}% median paired ratio (budget 3%)",
+        sweep_recording_ns,
+        sweep_off_ns,
+        recording_overhead * 100.0
+    );
+    println!(
         "  target: sparse >= 3x dense on lex_sweep_k4 -> {}",
         if target_met { "MET" } else { "NOT MET" }
     );
@@ -155,6 +213,11 @@ fn main() {
         target_met,
         "lex_sweep_k4 speedup {:.2}x is below the 3x floor",
         headline.speedup()
+    );
+    assert!(
+        recording_overhead < 0.03,
+        "recording-enabled sweep is {:+.1}% vs recording-off (budget 3%)",
+        recording_overhead * 100.0
     );
     if check_only {
         println!("--check: invariants hold, JSON left untouched");
@@ -186,6 +249,12 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"unrank_share_of_sparse_k4_trial\": {unrank_share:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"recording_ns_per_trial\": {sweep_recording_ns:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"recording_overhead_vs_off\": {recording_overhead:.4},\n"
     ));
     json.push_str("  \"target\": \"sparse >= 3x dense on lex_sweep_k4\",\n");
     json.push_str(&format!("  \"target_met\": {target_met}\n"));

@@ -1,14 +1,30 @@
 //! Runs every experiment in paper order, printing one combined report —
 //! the source of EXPERIMENTS.md's measured columns.
+//!
+//! Besides the per-experiment reports, the run emits:
+//!
+//! * a final per-experiment timing table, and
+//! * `run_manifest.json` (override with `--manifest PATH`) recording the
+//!   suite configuration and wall time of each experiment, so a finished
+//!   run is auditable without re-parsing its stdout.
 
 use std::time::Instant;
 use tornado_bench::experiments as exp;
 use tornado_bench::Effort;
+use tornado_obs::Json;
 
 /// One experiment: display name and its entry point.
 type Experiment = (&'static str, fn(&Effort) -> String);
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let manifest_path = args
+        .iter()
+        .position(|a| a == "--manifest")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("run_manifest.json");
+
     let effort = Effort::from_env();
     println!("# Tornado Codes for Archival Storage — full experiment suite");
     println!("# effort: {effort:?}\n");
@@ -28,10 +44,62 @@ fn main() {
         ("Size sweep (Plank regime)", exp::size_sweep::run),
         ("Federated failure profiles", exp::fed_profile::run),
     ];
+
+    let suite_start = Instant::now();
+    let mut timings: Vec<(&'static str, u64)> = Vec::new();
     for (name, run) in experiments {
         let t = Instant::now();
         let report = run(&effort);
+        let wall_ms = t.elapsed().as_millis() as u64;
         println!("{report}");
-        println!("# [{name}] completed in {:.1?}\n", t.elapsed());
+        println!("# [{name}] completed in {wall_ms} ms\n");
+        timings.push((name, wall_ms));
+    }
+    let total_ms = suite_start.elapsed().as_millis() as u64;
+
+    println!("# Timing summary");
+    println!("# {:<38} {:>10}", "experiment", "wall ms");
+    for (name, wall_ms) in &timings {
+        println!("# {name:<38} {wall_ms:>10}");
+    }
+    println!("# {:<38} {:>10}", "TOTAL", total_ms);
+
+    let manifest = Json::Obj(vec![
+        ("suite".into(), Json::Str("tornado-run-all".into())),
+        ("mode".into(), Json::Str(build_mode().into())),
+        ("mc_trials".into(), Json::U64(effort.mc_trials)),
+        (
+            "exhaustive_max_k".into(),
+            Json::U64(effort.exhaustive_max_k as u64),
+        ),
+        ("seed".into(), Json::U64(effort.seed)),
+        ("total_wall_ms".into(), Json::U64(total_ms)),
+        (
+            "experiments".into(),
+            Json::Arr(
+                timings
+                    .iter()
+                    .map(|&(name, wall_ms)| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(name.into())),
+                            ("wall_ms".into(), Json::U64(wall_ms)),
+                            ("output".into(), Json::Str("stdout".into())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    match std::fs::write(manifest_path, manifest.to_pretty()) {
+        Ok(()) => println!("# wrote {manifest_path}"),
+        Err(e) => eprintln!("# could not write {manifest_path}: {e}"),
+    }
+}
+
+fn build_mode() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
     }
 }

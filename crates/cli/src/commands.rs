@@ -1,17 +1,40 @@
 //! Command implementations.
 
 use crate::args::ParsedArgs;
+use crate::obs::CliObs;
 use tornado_analysis::{adjust_graph, overhead_report, system_failure_probability, AdjustConfig};
 use tornado_gen::{TornadoGenerator, TornadoParams};
 use tornado_graph::{dot, graphml, DegreeStats, Graph};
+use tornado_obs::Json;
 use tornado_raid::GroupSystem;
-use tornado_sim::{monte_carlo_profile, worst_case_search, MonteCarloConfig, WorstCaseConfig};
+use tornado_sim::{
+    monte_carlo_profile, monte_carlo_profile_observed, worst_case_search,
+    worst_case_search_observed, MonteCarloConfig, WorstCaseConfig,
+};
 
 type CmdResult = Result<(), String>;
 
 fn load_graph(path: &str) -> Result<Graph, String> {
     let xml = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     graphml::from_graphml(&xml).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Resolves `--catalog N` or `--graph FILE` to a graph plus a label for
+/// metrics snapshots.
+fn load_target_graph(args: &ParsedArgs) -> Result<(Graph, String), String> {
+    if let Some(idx) = args.get("catalog") {
+        let index: usize = idx.parse().map_err(|e| format!("--catalog {idx}: {e}"))?;
+        let graph = match index {
+            1 => tornado_core::tornado_graph_1(),
+            2 => tornado_core::tornado_graph_2(),
+            3 => tornado_core::tornado_graph_3(),
+            other => return Err(format!("catalog index {other} (valid: 1, 2, 3)")),
+        };
+        Ok((graph, format!("catalog:{index}")))
+    } else {
+        let path = args.require("graph")?;
+        Ok((load_graph(path)?, path.to_string()))
+    }
 }
 
 fn write_or_print(out: Option<&str>, content: &str) -> CmdResult {
@@ -55,12 +78,14 @@ pub fn generate(args: &ParsedArgs) -> CmdResult {
         "shifted" => tornado_gen::altered::generate_shifted(params, seed).map_err(|e| e.to_string())?,
         other => return Err(format!("unknown family '{other}'")),
     };
-    eprintln!(
-        "generated {} ({} nodes, {} edges, fingerprint {:#018x})",
-        family,
-        graph.num_nodes(),
-        graph.num_edges(),
-        graph.fingerprint()
+    CliObs::from_args(args).status(
+        "graph_generated",
+        &[
+            ("family", Json::Str(family.to_string())),
+            ("nodes", Json::U64(graph.num_nodes() as u64)),
+            ("edges", Json::U64(graph.num_edges() as u64)),
+            ("fingerprint", Json::Str(format!("{:#018x}", graph.fingerprint()))),
+        ],
     );
     write_or_print(args.get("out"), &graphml::to_graphml(&graph))
 }
@@ -114,17 +139,24 @@ pub fn dot(args: &ParsedArgs) -> CmdResult {
     write_or_print(args.get("out"), &dot::to_dot(&graph))
 }
 
-/// `tornado test`
+/// `tornado test` — alias for [`worst_case`], kept for compatibility.
 pub fn test(args: &ParsedArgs) -> CmdResult {
-    let graph = load_graph(args.require("graph")?)?;
+    worst_case(args)
+}
+
+/// `tornado worst-case`
+pub fn worst_case(args: &ParsedArgs) -> CmdResult {
+    let obs = CliObs::from_args(args);
+    let (graph, label) = load_target_graph(args)?;
     let max_k: usize = args.get_parsed("max-k", 4)?;
-    let report = worst_case_search(
+    let report = worst_case_search_observed(
         &graph,
         &WorstCaseConfig {
             max_k,
             collect_cap: 16,
             stop_at_first_failure: false,
         },
+        &obs.sim_observer(),
     );
     println!("k, cases, failures, fraction");
     for l in &report.levels {
@@ -145,21 +177,50 @@ pub fn test(args: &ParsedArgs) -> CmdResult {
         }
         None => println!("first failure: none up to k = {max_k}"),
     }
-    Ok(())
+    obs.write_metrics("worst-case", |snap| {
+        snap.set("graph", Json::Str(label.clone()))
+            .set("max_k", Json::U64(max_k as u64));
+        match report.first_failure() {
+            Some(k) => snap.set("first_failure", Json::U64(k as u64)),
+            None => snap.set("first_failure", Json::Null),
+        };
+        let levels: Vec<Json> = report
+            .levels
+            .iter()
+            .map(|l| {
+                Json::Obj(vec![
+                    ("k".into(), Json::U64(l.k as u64)),
+                    (
+                        "cases".into(),
+                        Json::U64(u64::try_from(l.cases).unwrap_or(u64::MAX)),
+                    ),
+                    ("failures".into(), Json::U64(l.failures)),
+                ])
+            })
+            .collect();
+        snap.set("levels", Json::Arr(levels));
+    })
 }
 
-/// `tornado profile`
+/// `tornado profile` — alias for [`monte_carlo`], kept for compatibility.
 pub fn profile(args: &ParsedArgs) -> CmdResult {
-    let graph = load_graph(args.require("graph")?)?;
+    monte_carlo(args)
+}
+
+/// `tornado monte-carlo`
+pub fn monte_carlo(args: &ParsedArgs) -> CmdResult {
+    let obs = CliObs::from_args(args);
+    let (graph, label) = load_target_graph(args)?;
     let trials: u64 = args.get_parsed("trials", 20_000)?;
     let seed: u64 = args.get_parsed("seed", 1)?;
-    let profile = monte_carlo_profile(
+    let profile = monte_carlo_profile_observed(
         &graph,
         &MonteCarloConfig {
             trials_per_k: trials,
             seed,
             ks: None,
         },
+        &obs.sim_observer(),
     );
     println!("k, trials, failures, fraction");
     for e in profile.entries() {
@@ -174,6 +235,83 @@ pub fn profile(args: &ParsedArgs) -> CmdResult {
         "average nodes to reconstruct: {:.2} ({:.2})",
         report.average_to_reconstruct, report.average_overhead
     );
+    obs.write_metrics("monte-carlo", |snap| {
+        snap.set("graph", Json::Str(label.clone()))
+            .set("trials_per_k", Json::U64(trials))
+            .set("seed", Json::U64(seed))
+            .set("overhead", Json::F64(report.overhead));
+    })
+}
+
+/// `tornado scrub`
+pub fn scrub(args: &ParsedArgs) -> CmdResult {
+    let obs = CliObs::from_args(args);
+    let (graph, label) = load_target_graph(args)?;
+    let objects: usize = args.get_parsed("objects", 8)?;
+    let level: usize = args.get_parsed("level", 5)?;
+    let repair = args.flag("repair");
+    let store = tornado_store::ArchivalStore::new(graph);
+    for i in 0..objects {
+        let payload = vec![(i % 251) as u8; 4096];
+        store
+            .put(&format!("object-{i}"), &payload)
+            .map_err(|e| e.to_string())?;
+    }
+    let mut failed = Vec::new();
+    for dev in args.get_all("fail") {
+        let d: usize = dev.parse().map_err(|e| format!("--fail {dev}: {e}"))?;
+        store.fail_device(d).map_err(|e| e.to_string())?;
+        failed.push(d);
+    }
+    // `--replace` brings a failed device back online empty, so a repair
+    // scrub has somewhere to rewrite the reconstructed blocks.
+    for dev in args.get_all("replace") {
+        let d: usize = dev.parse().map_err(|e| format!("--replace {dev}: {e}"))?;
+        store.replace_device(d).map_err(|e| e.to_string())?;
+    }
+    let store_obs = obs.store_observer();
+    let outcome = tornado_store::scrubber::scrub_observed(&store, level, repair, &store_obs);
+    println!("stripes scanned:     {}", outcome.stripes.len());
+    println!("degraded stripes:    {}", outcome.degraded_count());
+    println!("urgent stripes:      {}", outcome.urgent_count());
+    println!("blocks repaired:     {}", outcome.blocks_repaired);
+    println!("objects incomplete:  {}", outcome.objects_incomplete.len());
+    for s in outcome.stripes.iter().filter(|s| s.degraded()) {
+        println!(
+            "  object {}: {} missing, margin {}{}",
+            s.id,
+            s.missing_blocks.len(),
+            s.margin,
+            if s.urgent() { " (URGENT)" } else { "" }
+        );
+    }
+    obs.write_metrics("scrub", |snap| {
+        snap.set("graph", Json::Str(label.clone()))
+            .set("objects", Json::U64(objects as u64))
+            .set("level", Json::U64(level as u64))
+            .set("repair", Json::Bool(repair))
+            .set(
+                "failed_devices",
+                Json::Arr(failed.iter().map(|&d| Json::U64(d as u64)).collect()),
+            );
+        store_obs.fill_snapshot(snap);
+    })
+}
+
+/// `tornado validate-metrics`
+pub fn validate_metrics(args: &ParsedArgs) -> CmdResult {
+    let path = args.require("file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = tornado_obs::json::parse(&text).map_err(|e| format!("{path}: parse error: {e}"))?;
+    tornado_obs::snapshot::validate(&doc).map_err(|e| format!("{path}: invalid snapshot: {e}"))?;
+    let command = doc.get("command").and_then(Json::as_str).unwrap_or("?");
+    let elapsed = doc.get("elapsed_ms").and_then(Json::as_u64).unwrap_or(0);
+    let counters = match doc.get("counters") {
+        Some(Json::Obj(entries)) => entries.len(),
+        _ => 0,
+    };
+    println!("valid {} snapshot: command={command} elapsed_ms={elapsed} counters={counters}",
+        tornado_obs::snapshot::SCHEMA);
     Ok(())
 }
 

@@ -6,6 +6,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod obs;
 
 pub use args::ParsedArgs;
 
@@ -23,8 +24,15 @@ COMMANDS:
     catalog      Dump a certified catalog graph     --index 1|2|3 [--out FILE]
     inspect      Show structure and degree stats    --graph FILE
     dot          Export Graphviz DOT                --graph FILE [--out FILE]
-    test         Exhaustive worst-case search       --graph FILE [--max-k 4]
-    profile      Monte-Carlo failure profile        --graph FILE [--trials 20000] [--seed N]
+    worst-case   Exhaustive worst-case search       --graph FILE | --catalog 1|2|3 [--max-k 4]
+    test         Alias for worst-case               (same options)
+    monte-carlo  Monte-Carlo failure profile        --graph FILE | --catalog 1|2|3
+                                                    [--trials 20000] [--seed N]
+    profile      Alias for monte-carlo              (same options)
+    scrub        Fail devices, scrub, report health  --graph FILE | --catalog 1|2|3
+                                                     [--objects 8] [--level 5] [--repair]
+                                                     [--fail DEV]... [--replace DEV]...
+    validate-metrics  Validate a metrics snapshot    --file FILE
     adjust       Feedback adjustment (§3.3)         --graph FILE [--target 5] [--out FILE]
     reliability  Table 5 reliability comparison     [--graph FILE]... [--afr 0.01] [--trials 20000]
     demo         Archival store walkthrough         [--seed N]
@@ -33,6 +41,12 @@ COMMANDS:
     lifetime     Annual loss with scrub/repair       --graph FILE [--afr 0.01]
                                                      [--scrubs 0] [--trials 100000]
     workload     Synthetic archival workload replay  [--seed N] [--objects 20] [--reads 100]
+
+OBSERVABILITY (worst-case, monte-carlo, scrub, and their aliases):
+    --progress        Throttled progress lines (rate + ETA) on stderr
+    --metrics FILE    Write a JSON metrics snapshot on completion
+    --log-json        JSON-lines events on stderr instead of human text
+    --quiet           Suppress status and progress output
 
 All commands are deterministic in their seeds.
 ";
@@ -46,7 +60,11 @@ pub fn run_command(command: &str, parsed: &ParsedArgs) -> Result<(), String> {
         "inspect" => commands::inspect(parsed),
         "dot" => commands::dot(parsed),
         "test" => commands::test(parsed),
+        "worst-case" => commands::worst_case(parsed),
         "profile" => commands::profile(parsed),
+        "monte-carlo" => commands::monte_carlo(parsed),
+        "scrub" => commands::scrub(parsed),
+        "validate-metrics" => commands::validate_metrics(parsed),
         "adjust" => commands::adjust(parsed),
         "reliability" => commands::reliability(parsed),
         "demo" => commands::demo(parsed),

@@ -153,3 +153,116 @@ fn workload_runs() {
     run_command("workload", &args(&["--seed", "3", "--objects", "4", "--reads", "10"]))
         .expect("workload");
 }
+
+#[test]
+fn worst_case_writes_a_validating_metrics_snapshot() {
+    let src = temp_path("wc-metrics.graphml");
+    let src_s = src.to_str().unwrap();
+    run_command(
+        "generate",
+        &args(&["--seed", "3", "--data", "16", "--screen", "2", "--out", src_s]),
+    )
+    .expect("generate");
+    let out = temp_path("wc-metrics.json");
+    let out_s = out.to_str().unwrap();
+    run_command(
+        "worst-case",
+        &args(&["--graph", src_s, "--max-k", "2", "--metrics", out_s, "--quiet"]),
+    )
+    .expect("worst-case");
+
+    let text = std::fs::read_to_string(&out).unwrap();
+    let doc = tornado_obs::json::parse(&text).expect("snapshot parses");
+    tornado_obs::snapshot::validate(&doc).expect("snapshot validates");
+    assert_eq!(
+        doc.get("command").and_then(tornado_obs::Json::as_str),
+        Some("worst-case")
+    );
+
+    // Trial accounting must be exact: one decode per erasure pattern,
+    // summed over k = 1..=2 on a 32-node graph.
+    let nodes = 32u64;
+    let expected = nodes + nodes * (nodes - 1) / 2;
+    let trials = doc
+        .get("counters")
+        .and_then(|c| c.get("decode.trials"))
+        .and_then(tornado_obs::Json::as_u64)
+        .expect("decode.trials counter");
+    assert_eq!(trials, expected, "trials == sum_k C(32,k)");
+
+    // And validate-metrics accepts the same file.
+    run_command("validate-metrics", &args(&["--file", out_s])).expect("validate-metrics");
+}
+
+#[test]
+fn validate_metrics_rejects_garbage() {
+    let bad = temp_path("bad-metrics.json");
+    let bad_s = bad.to_str().unwrap();
+    std::fs::write(&bad, "not json at all").unwrap();
+    assert!(run_command("validate-metrics", &args(&["--file", bad_s])).is_err());
+    std::fs::write(&bad, r#"{"schema": "other-schema", "command": "x", "elapsed_ms": 1, "counters": {}}"#).unwrap();
+    let err = run_command("validate-metrics", &args(&["--file", bad_s])).unwrap_err();
+    assert!(err.contains("schema"), "mentions the offending key: {err}");
+    assert!(run_command("validate-metrics", &args(&["--file", "/nonexistent/metrics.json"])).is_err());
+}
+
+#[test]
+fn monte_carlo_with_metrics_counts_trials() {
+    let out = temp_path("mc-metrics.json");
+    let out_s = out.to_str().unwrap();
+    run_command(
+        "monte-carlo",
+        &args(&[
+            "--catalog", "1", "--trials", "50", "--seed", "1", "--metrics", out_s, "--quiet",
+        ]),
+    )
+    .expect("monte-carlo");
+    let doc = tornado_obs::json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    tornado_obs::snapshot::validate(&doc).expect("validates");
+    let trials = doc
+        .get("counters")
+        .and_then(|c| c.get("decode.trials"))
+        .and_then(tornado_obs::Json::as_u64)
+        .unwrap();
+    // 96 levels x 50 trials each.
+    assert_eq!(trials, 96 * 50);
+}
+
+#[test]
+fn scrub_reports_health_and_writes_metrics() {
+    let out = temp_path("scrub-metrics.json");
+    let out_s = out.to_str().unwrap();
+    run_command(
+        "scrub",
+        &args(&[
+            "--catalog", "1", "--objects", "3", "--fail", "0", "--fail", "7", "--replace", "0",
+            "--replace", "7", "--repair", "--metrics", out_s, "--quiet",
+        ]),
+    )
+    .expect("scrub");
+    let doc = tornado_obs::json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    tornado_obs::snapshot::validate(&doc).expect("validates");
+    let counters = doc.get("counters").unwrap();
+    assert_eq!(
+        counters.get("scrub.cycles").and_then(tornado_obs::Json::as_u64),
+        Some(1)
+    );
+    assert!(
+        counters
+            .get("scrub.blocks_repaired")
+            .and_then(tornado_obs::Json::as_u64)
+            .unwrap()
+            > 0,
+        "repair pass rewrote the lost blocks"
+    );
+    assert!(doc.get("histograms").and_then(|h| h.get("scrub.cycle_us")).is_some());
+}
+
+#[test]
+fn catalog_and_graph_flags_are_interchangeable() {
+    // --catalog on worst-case must match dumping the graph and reading it back.
+    run_command("worst-case", &args(&["--catalog", "1", "--max-k", "1", "--quiet"]))
+        .expect("worst-case --catalog");
+    assert!(run_command("worst-case", &args(&["--catalog", "7", "--quiet"])).is_err());
+    assert!(run_command("worst-case", &args(&["--quiet"])).is_err(), "needs a graph source");
+}

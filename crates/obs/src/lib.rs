@@ -1,0 +1,48 @@
+//! `tornado-obs` — zero-dependency observability for the simulation
+//! pipeline.
+//!
+//! The paper's methodology is empirical: hundreds of millions of decode
+//! trials per graph (§3's full `C(96, k)` enumeration plus Monte-Carlo
+//! sampling). This crate gives every long-running layer eyes without
+//! slowing the kernels down:
+//!
+//! * [`Counter`] / [`Gauge`] / [`FloatGauge`] — sharded relaxed-atomic
+//!   aggregates, safe to hammer from every rayon worker;
+//! * [`Recorder`] — plain-u64 cells behind an on/off flag, for hot loops
+//!   that cannot afford even a relaxed atomic per trial; drained at batch
+//!   boundaries into the shared counters (summation commutes, so merged
+//!   totals stay deterministic under any scheduling);
+//! * [`Histogram`] — log2-bucketed with percentile queries, exact
+//!   min/max/sum;
+//! * [`SpanTimer`] — scope timing into a histogram;
+//! * [`Progress`] — throttled rate + ETA reporting to stderr (or silent),
+//!   driven by a mockable [`Clock`];
+//! * [`EventSink`] — a JSON-lines (or human-readable) event stream;
+//! * [`Snapshot`] — a point-in-time metrics dump through the hand-rolled
+//!   [`json`] serializer, with a [`snapshot::validate`] checker for CI.
+//!
+//! Everything is built on `std` alone — no external crates — so the
+//! workspace keeps building offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod counter;
+pub mod events;
+pub mod histogram;
+pub mod json;
+pub mod progress;
+pub mod recorder;
+pub mod snapshot;
+pub mod span;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use counter::{Counter, FloatGauge, Gauge};
+pub use events::{EventFormat, EventSink};
+pub use histogram::Histogram;
+pub use json::Json;
+pub use progress::{Progress, ProgressConfig, ProgressTarget};
+pub use recorder::Recorder;
+pub use snapshot::Snapshot;
+pub use span::SpanTimer;

@@ -1,0 +1,210 @@
+//! Point-in-time metrics snapshots serialized to JSON.
+//!
+//! A [`Snapshot`] is an ordered JSON object built from live metrics —
+//! counters, gauges, histograms — plus whatever command-specific context
+//! the caller adds (graph path, per-`k` level rows). The schema key lets
+//! downstream validators (`tornado validate-metrics`, the CI smoke step)
+//! reject foreign files cheaply.
+
+use crate::counter::{Counter, FloatGauge, Gauge};
+use crate::histogram::Histogram;
+use crate::json::Json;
+
+/// Schema identifier written into every snapshot.
+pub const SCHEMA: &str = "tornado-metrics-v1";
+
+/// Top-level keys every snapshot carries (what validators check).
+pub const REQUIRED_KEYS: [&str; 4] = ["schema", "command", "elapsed_ms", "counters"];
+
+/// Builder for one metrics snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    fields: Vec<(String, Json)>,
+    counters: Vec<(String, Json)>,
+    gauges: Vec<(String, Json)>,
+    histograms: Vec<(String, Json)>,
+}
+
+impl Snapshot {
+    /// A snapshot for `command`, stamped with the schema and elapsed time.
+    pub fn new(command: &str, elapsed_ms: u64) -> Self {
+        Self {
+            fields: vec![
+                ("schema".into(), Json::Str(SCHEMA.into())),
+                ("command".into(), Json::Str(command.into())),
+                ("elapsed_ms".into(), Json::U64(elapsed_ms)),
+            ],
+            ..Self::default()
+        }
+    }
+
+    /// Adds a top-level context field.
+    pub fn set(&mut self, key: &str, value: Json) -> &mut Self {
+        self.fields.push((key.into(), value));
+        self
+    }
+
+    /// Records a counter's current value.
+    pub fn counter(&mut self, name: &str, c: &Counter) -> &mut Self {
+        self.counters.push((name.into(), Json::U64(c.get())));
+        self
+    }
+
+    /// Records a raw counter value (for plain-u64 recorder cells).
+    pub fn counter_value(&mut self, name: &str, v: u64) -> &mut Self {
+        self.counters.push((name.into(), Json::U64(v)));
+        self
+    }
+
+    /// Records an integer gauge.
+    pub fn gauge(&mut self, name: &str, g: &Gauge) -> &mut Self {
+        self.gauges.push((name.into(), Json::I64(g.get())));
+        self
+    }
+
+    /// Records a floating-point gauge.
+    pub fn float_gauge(&mut self, name: &str, g: &FloatGauge) -> &mut Self {
+        self.gauges.push((name.into(), Json::F64(g.get())));
+        self
+    }
+
+    /// Records a histogram as count/sum/min/max/mean/percentiles plus the
+    /// sparse non-zero buckets.
+    pub fn histogram(&mut self, name: &str, h: &Histogram) -> &mut Self {
+        let buckets: Vec<Json> = h
+            .bucket_counts()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                Json::Obj(vec![
+                    ("le".into(), Json::U64(crate::histogram::bucket_upper_bound(i))),
+                    ("count".into(), Json::U64(c)),
+                ])
+            })
+            .collect();
+        let mut obj = vec![
+            ("count".into(), Json::U64(h.count())),
+            ("sum".into(), Json::U64(h.sum())),
+            ("mean".into(), Json::F64(h.mean())),
+        ];
+        if let (Some(min), Some(max)) = (h.min(), h.max()) {
+            obj.push(("min".into(), Json::U64(min)));
+            obj.push(("max".into(), Json::U64(max)));
+            obj.push(("p50".into(), Json::U64(h.percentile(0.5).unwrap())));
+            obj.push(("p99".into(), Json::U64(h.percentile(0.99).unwrap())));
+        }
+        obj.push(("buckets".into(), Json::Arr(buckets)));
+        self.histograms.push((name.into(), Json::Obj(obj)));
+        self
+    }
+
+    /// Assembles the final JSON tree.
+    pub fn to_json(&self) -> Json {
+        let mut root = self.fields.clone();
+        root.push(("counters".into(), Json::Obj(self.counters.clone())));
+        if !self.gauges.is_empty() {
+            root.push(("gauges".into(), Json::Obj(self.gauges.clone())));
+        }
+        if !self.histograms.is_empty() {
+            root.push(("histograms".into(), Json::Obj(self.histograms.clone())));
+        }
+        Json::Obj(root)
+    }
+
+    /// Pretty-printed snapshot text.
+    pub fn to_pretty(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Writes the snapshot to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_pretty())
+    }
+}
+
+/// Checks that `doc` looks like a snapshot this crate wrote: every
+/// [`REQUIRED_KEYS`] entry present, schema matching, counters an object.
+/// Returns the offending key on failure.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    for key in REQUIRED_KEYS {
+        if doc.get(key).is_none() {
+            return Err(format!("missing top-level key '{key}'"));
+        }
+    }
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SCHEMA) => {}
+        Some(other) => return Err(format!("schema '{other}' (expected '{SCHEMA}')")),
+        None => return Err("schema is not a string".into()),
+    }
+    match doc.get("counters") {
+        Some(Json::Obj(_)) => {}
+        _ => return Err("'counters' is not an object".into()),
+    }
+    if doc.get("elapsed_ms").and_then(Json::as_u64).is_none() {
+        return Err("'elapsed_ms' is not an unsigned integer".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn snapshot_round_trips_through_the_serializer() {
+        let trials = Counter::new();
+        trials.add(3_469_496);
+        let margin = Gauge::new();
+        margin.set(-2);
+        let frac = FloatGauge::new();
+        frac.set(0.125);
+        let hist = Histogram::new();
+        for v in [10u64, 100, 1000] {
+            hist.record(v);
+        }
+
+        let mut snap = Snapshot::new("worst-case", 4200);
+        snap.set("graph", Json::Str("catalog:1".into()))
+            .counter("search.trials", &trials)
+            .gauge("scrub.margin", &margin)
+            .float_gauge("mc.failure_fraction", &frac)
+            .histogram("scrub.cycle_us", &hist);
+
+        let text = snap.to_pretty();
+        let doc = parse(&text).expect("snapshot must parse");
+        assert_eq!(doc, snap.to_json(), "round trip is lossless");
+        validate(&doc).expect("snapshot must validate");
+
+        let counters = doc.get("counters").unwrap();
+        assert_eq!(
+            counters.get("search.trials").unwrap().as_u64(),
+            Some(3_469_496)
+        );
+        assert_eq!(
+            doc.get("gauges").unwrap().get("scrub.margin"),
+            Some(&Json::I64(-2))
+        );
+        let h = doc.get("histograms").unwrap().get("scrub.cycle_us").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(3));
+        assert_eq!(h.get("max").unwrap().as_u64(), Some(1000));
+    }
+
+    #[test]
+    fn validate_rejects_foreign_documents() {
+        assert!(validate(&parse("{}").unwrap()).is_err());
+        assert!(validate(&parse(r#"{"schema": "other", "command": "x", "elapsed_ms": 1, "counters": {}}"#).unwrap()).is_err());
+        assert!(validate(&parse(r#"{"schema": "tornado-metrics-v1", "command": "x", "elapsed_ms": 1, "counters": 5}"#).unwrap()).is_err());
+        validate(&parse(r#"{"schema": "tornado-metrics-v1", "command": "x", "elapsed_ms": 1, "counters": {}}"#).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn empty_sections_are_omitted() {
+        let snap = Snapshot::new("scrub", 1);
+        let doc = snap.to_json();
+        assert!(doc.get("counters").is_some(), "counters always present");
+        assert!(doc.get("gauges").is_none());
+        assert!(doc.get("histograms").is_none());
+    }
+}

@@ -1,0 +1,76 @@
+//! Lightweight span timers: measure a scope, record it into a histogram.
+
+use crate::histogram::Histogram;
+use std::time::Instant;
+
+/// Times a scope and records the elapsed **microseconds** into a
+/// [`Histogram`] on drop. Microseconds in log2 buckets span 1 µs to ~36
+/// minutes with ≤ 2× resolution — right for scrub cycles and experiment
+/// phases.
+///
+/// ```
+/// use tornado_obs::{Histogram, SpanTimer};
+/// let cycles = Histogram::new();
+/// {
+///     let _span = SpanTimer::new(&cycles);
+///     // ... timed work ...
+/// }
+/// assert_eq!(cycles.count(), 1);
+/// ```
+pub struct SpanTimer<'a> {
+    hist: &'a Histogram,
+    started: Instant,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Starts timing into `hist`.
+    pub fn new(hist: &'a Histogram) -> Self {
+        Self {
+            hist,
+            started: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed so far (the value `drop` will record).
+    pub fn elapsed_micros(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Stops early and records, consuming the timer.
+    pub fn stop(self) -> u64 {
+        self.elapsed_micros()
+        // drop records
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        self.hist.record(self.elapsed_micros());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_once() {
+        let h = Histogram::new();
+        {
+            let _a = SpanTimer::new(&h);
+            let _b = SpanTimer::new(&h);
+        }
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn stop_returns_the_recorded_value_scale() {
+        let h = Histogram::new();
+        let t = SpanTimer::new(&h);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let us = t.stop();
+        assert!(us >= 2_000, "slept 2ms, measured {us}us");
+        assert_eq!(h.count(), 1);
+        assert!(h.max().unwrap() >= 2_000);
+    }
+}

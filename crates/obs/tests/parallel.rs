@@ -1,0 +1,88 @@
+//! Determinism of sharded counters and recorder merges under rayon.
+//!
+//! The instrumentation contract is that per-worker recorder cells merged
+//! into sharded counters give the same totals regardless of thread count
+//! or which worker processed which batch — summation commutes, and the
+//! shards fold losslessly.
+
+use rayon::prelude::*;
+use tornado_obs::{Counter, Histogram, ProgressConfig, Recorder};
+
+#[test]
+fn sharded_counter_totals_are_exact_under_rayon() {
+    let c = Counter::new();
+    (0..10_000u64).into_par_iter().for_each(|i| c.add(i % 7));
+    let expected: u64 = (0..10_000u64).map(|i| i % 7).sum();
+    assert_eq!(c.get(), expected);
+}
+
+#[test]
+fn counter_merge_is_deterministic_across_thread_counts() {
+    let totals: Vec<u64> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let c = Counter::new();
+            pool.install(|| {
+                (0..256u64).into_par_iter().for_each(|batch| {
+                    // Per-batch recorder, merged out at the batch boundary —
+                    // the exact pattern the worst-case search uses.
+                    let mut rec: Recorder<2> = Recorder::enabled();
+                    for t in 0..100 {
+                        rec.inc(0);
+                        if (batch + t) % 3 == 0 {
+                            rec.inc(1);
+                        }
+                    }
+                    let cells = rec.take();
+                    c.add(cells[0] + cells[1]);
+                });
+            });
+            c.get()
+        })
+        .collect();
+    assert!(
+        totals.windows(2).all(|w| w[0] == w[1]),
+        "thread count changed the merged total: {totals:?}"
+    );
+}
+
+#[test]
+fn progress_counting_is_exact_under_contention() {
+    let cfg = ProgressConfig::silent();
+    let p = cfg.start("contended", 1_000_000);
+    (0..1000u64).into_par_iter().for_each(|_| p.add(1000));
+    assert_eq!(p.done(), 1_000_000);
+}
+
+#[test]
+fn histogram_merge_is_order_independent() {
+    // Record the same multiset through different per-worker splits; the
+    // folded histogram must be identical.
+    let values: Vec<u64> = (0..5000u64).map(|i| (i * 2654435761) % 1_000_000).collect();
+    let reference = Histogram::new();
+    for &v in &values {
+        reference.record(v);
+    }
+    for chunk_size in [7usize, 64, 1024] {
+        let folded = Histogram::new();
+        let chunks: Vec<&[u64]> = values.chunks(chunk_size).collect();
+        chunks.into_par_iter().for_each(|chunk| {
+            let local = Histogram::new();
+            for &v in chunk {
+                local.record(v);
+            }
+            folded.merge(&local);
+        });
+        assert_eq!(folded.bucket_counts(), reference.bucket_counts());
+        assert_eq!(folded.count(), reference.count());
+        assert_eq!(folded.sum(), reference.sum());
+        assert_eq!(folded.min(), reference.min());
+        assert_eq!(folded.max(), reference.max());
+        assert_eq!(folded.percentile(0.5), reference.percentile(0.5));
+        assert_eq!(folded.percentile(0.99), reference.percentile(0.99));
+    }
+}

@@ -25,10 +25,15 @@
 pub mod mirror;
 pub mod monte_carlo;
 pub mod multi;
+pub mod obs;
 pub mod profile;
 pub mod worst_case;
 
 pub use mirror::mirrored_failure_probability;
-pub use monte_carlo::{monte_carlo_profile, MonteCarloConfig};
+pub use monte_carlo::{monte_carlo_profile, monte_carlo_profile_observed, MonteCarloConfig};
+pub use obs::SimObserver;
 pub use profile::{FailureProfile, ProfileEntry};
-pub use worst_case::{worst_case_search, KLevelResult, WorstCaseConfig, WorstCaseReport};
+pub use worst_case::{
+    worst_case_search, worst_case_search_observed, KLevelResult, WorstCaseConfig,
+    WorstCaseReport,
+};

@@ -10,12 +10,14 @@
 //! into fixed-size batches, each seeded by `(seed, k, batch)`, so results
 //! are reproducible regardless of thread scheduling.
 
+use crate::obs::SimObserver;
 use crate::profile::FailureProfile;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use tornado_codec::ErasureDecoder;
 use tornado_graph::Graph;
+use tornado_obs::Json;
 
 /// Configuration for Monte-Carlo profiling.
 #[derive(Clone, Debug)]
@@ -47,6 +49,17 @@ const BATCH: u64 = 4096;
 /// Estimates `P(fail | k offline)` for each requested `k` by uniform
 /// sampling, returning a [`FailureProfile`] with sampled rows.
 pub fn monte_carlo_profile(graph: &Graph, cfg: &MonteCarloConfig) -> FailureProfile {
+    monte_carlo_profile_observed(graph, cfg, &SimObserver::disabled())
+}
+
+/// [`monte_carlo_profile`] with per-level progress, completion events, and
+/// decode-kernel metrics reported through `obs`. Failure counts are
+/// identical to the unobserved run (the sampling streams are untouched).
+pub fn monte_carlo_profile_observed(
+    graph: &Graph,
+    cfg: &MonteCarloConfig,
+    obs: &SimObserver,
+) -> FailureProfile {
     let n = graph.num_nodes();
     let ks: Vec<usize> = match &cfg.ks {
         Some(ks) => ks.clone(),
@@ -55,7 +68,24 @@ pub fn monte_carlo_profile(graph: &Graph, cfg: &MonteCarloConfig) -> FailureProf
     let mut profile = FailureProfile::new(n);
     for &k in &ks {
         assert!(k <= n, "k = {k} exceeds {n} nodes");
-        let failures = sample_level(graph, k, cfg.trials_per_k, cfg.seed);
+        let started = std::time::Instant::now();
+        let failures = sample_level_observed(graph, k, cfg.trials_per_k, cfg.seed, obs);
+        let fraction = if cfg.trials_per_k > 0 {
+            failures as f64 / cfg.trials_per_k as f64
+        } else {
+            0.0
+        };
+        obs.failure_fraction.set(fraction);
+        obs.events.emit(
+            "monte_carlo_level",
+            &[
+                ("k", Json::U64(k as u64)),
+                ("trials", Json::U64(cfg.trials_per_k)),
+                ("failures", Json::U64(failures)),
+                ("fraction", Json::F64(fraction)),
+                ("elapsed_ms", Json::U64(started.elapsed().as_millis() as u64)),
+            ],
+        );
         profile.record(k, cfg.trials_per_k, failures, false);
     }
     profile
@@ -63,17 +93,34 @@ pub fn monte_carlo_profile(graph: &Graph, cfg: &MonteCarloConfig) -> FailureProf
 
 /// Samples one `k` level; returns the failure count.
 pub fn sample_level(graph: &Graph, k: usize, trials: u64, seed: u64) -> u64 {
+    sample_level_observed(graph, k, trials, seed, &SimObserver::disabled())
+}
+
+/// [`sample_level`] with per-batch progress and decode-kernel metrics
+/// reported through `obs`. The per-batch reseeding makes the failure count
+/// identical to the unobserved run regardless of observation.
+pub fn sample_level_observed(
+    graph: &Graph,
+    k: usize,
+    trials: u64,
+    seed: u64,
+    obs: &SimObserver,
+) -> u64 {
     let n = graph.num_nodes();
     if k == 0 {
         return 0;
     }
-    (0..trials.div_ceil(BATCH))
+    obs.current_k.set(k as i64);
+    let progress = obs.progress.start(format!("monte-carlo k={k}"), trials);
+    let record = obs.metrics.is_some();
+    let failures = (0..trials.div_ceil(BATCH))
         .into_par_iter()
         .map_init(
             // Decoder and permutation scratch are per worker thread, reused
             // across every batch that lands on it.
             || {
-                let dec = ErasureDecoder::new(graph);
+                let mut dec = ErasureDecoder::new(graph);
+                dec.set_recording(record);
                 let perm: Vec<usize> = (0..n).collect();
                 (dec, perm)
             },
@@ -99,10 +146,16 @@ pub fn sample_level(graph: &Graph, k: usize, trials: u64, seed: u64) -> u64 {
                         failures += 1;
                     }
                 }
+                progress.add(count);
+                if let Some(metrics) = &obs.metrics {
+                    metrics.absorb(&dec.take_cells());
+                }
                 failures
             },
         )
-        .sum()
+        .sum();
+    progress.finish();
+    failures
 }
 
 /// SplitMix64-style seed mixing so nearby `(seed, k, batch)` triples give

@@ -10,11 +10,13 @@
 //! unranking in `tornado-bitset` and processed data-parallel with rayon —
 //! each worker owns its own allocation-free [`ErasureDecoder`].
 
+use crate::obs::SimObserver;
 use crate::profile::FailureProfile;
 use rayon::prelude::*;
 use tornado_bitset::combinations::{binomial, chunk_ranges, CombinationIter};
 use tornado_codec::ErasureDecoder;
 use tornado_graph::Graph;
+use tornado_obs::Json;
 
 /// Configuration for the worst-case search.
 #[derive(Clone, Copy, Debug)]
@@ -84,10 +86,21 @@ impl WorstCaseReport {
 
 /// Runs the exhaustive search over `k = 1..=cfg.max_k`.
 pub fn worst_case_search(graph: &Graph, cfg: &WorstCaseConfig) -> WorstCaseReport {
+    worst_case_search_observed(graph, cfg, &SimObserver::disabled())
+}
+
+/// [`worst_case_search`] with progress, events, and decode-kernel metrics
+/// reported through `obs`. Counts and collected sets are identical to the
+/// unobserved search.
+pub fn worst_case_search_observed(
+    graph: &Graph,
+    cfg: &WorstCaseConfig,
+    obs: &SimObserver,
+) -> WorstCaseReport {
     let n = graph.num_nodes();
     let mut levels = Vec::with_capacity(cfg.max_k);
     for k in 1..=cfg.max_k.min(n) {
-        let level = search_level(graph, k, cfg.collect_cap);
+        let level = search_level_observed(graph, k, cfg.collect_cap, obs);
         let found = level.failures > 0;
         levels.push(level);
         if found && cfg.stop_at_first_failure {
@@ -108,8 +121,35 @@ pub fn worst_case_search(graph: &Graph, cfg: &WorstCaseConfig) -> WorstCaseRepor
 /// ones, run after run. (The previous implementation truncated inside the
 /// reduction, so the survivors depended on the merge-tree shape.)
 pub fn search_level(graph: &Graph, k: usize, collect_cap: usize) -> KLevelResult {
+    search_level_observed(graph, k, collect_cap, &SimObserver::disabled())
+}
+
+/// Trials between progress flushes inside a rank range. Large enough that
+/// the sharded counter add and clock read disappear against the decode
+/// work, small enough that ETAs stay live on the big levels.
+const PROGRESS_STRIDE: u64 = 8192;
+
+/// [`search_level`] with per-`k` progress (rate + ETA), a completion event,
+/// and decode-kernel metrics merged from every worker through `obs`.
+///
+/// Worker decoders drain their recorder cells into `obs.metrics` once per
+/// rank range; totals are therefore exact and scheduling-independent, and
+/// the trial counter equals `C(n, k)` for the level (prefix fixpoints are
+/// counted separately as `decode.prefix_begins`).
+pub fn search_level_observed(
+    graph: &Graph,
+    k: usize,
+    collect_cap: usize,
+    obs: &SimObserver,
+) -> KLevelResult {
     let n = graph.num_nodes();
     let total = binomial(n as u64, k as u64);
+    obs.current_k.set(k as i64);
+    let progress = obs
+        .progress
+        .start(format!("worst-case k={k}"), u64::try_from(total).unwrap_or(u64::MAX));
+    let started = std::time::Instant::now();
+    let record = obs.metrics.is_some();
     // Enough chunks to keep all cores busy with balanced tails.
     let chunks = (rayon::current_num_threads() * 8).max(1);
     let ranges = chunk_ranges(n, k, chunks);
@@ -118,7 +158,11 @@ pub fn search_level(graph: &Graph, k: usize, collect_cap: usize) -> KLevelResult
         .into_par_iter()
         .map_init(
             // One decoder per worker thread, reused across its rank ranges.
-            || ErasureDecoder::new(graph),
+            || {
+                let mut dec = ErasureDecoder::new(graph);
+                dec.set_recording(record);
+                dec
+            },
             |dec, (start, len)| {
                 let mut it = CombinationIter::from_rank(n, k, start);
                 let mut fail_count = 0u64;
@@ -126,6 +170,7 @@ pub fn search_level(graph: &Graph, k: usize, collect_cap: usize) -> KLevelResult
                 // Consecutive combinations share their first k-1 elements
                 // until the tail wraps; re-mark the prefix only on change.
                 let mut prefix: Vec<usize> = vec![usize::MAX];
+                let mut pending = 0u64;
                 for _ in 0..len {
                     let combo = it.next_slice().expect("rank range stays in bounds");
                     let split = combo.len().saturating_sub(1);
@@ -140,6 +185,15 @@ pub fn search_level(graph: &Graph, k: usize, collect_cap: usize) -> KLevelResult
                             fail_sets.push(combo.to_vec());
                         }
                     }
+                    pending += 1;
+                    if pending == PROGRESS_STRIDE {
+                        progress.add(pending);
+                        pending = 0;
+                    }
+                }
+                progress.add(pending);
+                if let Some(metrics) = &obs.metrics {
+                    metrics.absorb(&dec.take_cells());
                 }
                 (fail_count, fail_sets)
             },
@@ -152,6 +206,16 @@ pub fn search_level(graph: &Graph, k: usize, collect_cap: usize) -> KLevelResult
                 (a.0, a.1)
             },
         );
+    progress.finish();
+    obs.events.emit(
+        "worst_case_level",
+        &[
+            ("k", Json::U64(k as u64)),
+            ("cases", Json::U64(u64::try_from(total).unwrap_or(u64::MAX))),
+            ("failures", Json::U64(failures)),
+            ("elapsed_ms", Json::U64(started.elapsed().as_millis() as u64)),
+        ],
+    );
     debug_assert!(sets.is_sorted(), "rank-ordered ranges concatenate in lex order");
     sets.truncate(collect_cap);
     let truncated = failures > sets.len() as u64;

@@ -34,6 +34,7 @@ pub mod chunking;
 pub mod device;
 pub mod error;
 pub mod federation;
+pub mod obs;
 pub mod retrieval;
 pub mod scrubber;
 pub mod store;
@@ -43,7 +44,8 @@ pub use chunking::{delete_chunked, get_chunked, put_chunked};
 pub use device::{Device, DeviceStats};
 pub use error::StoreError;
 pub use federation::FederatedStore;
-pub use retrieval::{plan_retrieval, RetrievalPlan};
+pub use obs::StoreObserver;
+pub use retrieval::{plan_retrieval, plan_retrieval_observed, RetrievalPlan};
 pub use scrubber::{ScrubOutcome, StripeHealth};
 pub use store::{ArchivalStore, ObjectId, ObjectMeta};
 pub use workload::{generate_events, replay, Event, ReplayReport, WorkloadConfig};

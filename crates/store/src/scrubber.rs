@@ -10,6 +10,7 @@
 //! when asked — reconstructs missing blocks and writes them back to
 //! whatever devices are online (replacement drives included).
 
+use crate::obs::StoreObserver;
 use crate::store::{ArchivalStore, ObjectId};
 use tornado_codec::Codec;
 use tornado_graph::NodeId;
@@ -59,6 +60,12 @@ impl ScrubOutcome {
     pub fn degraded_count(&self) -> usize {
         self.stripes.iter().filter(|s| s.degraded()).count()
     }
+
+    /// Count of urgent stripes (degraded with margin ≤ 1 — one more
+    /// device failure could cross the worst-case failure level).
+    pub fn urgent_count(&self) -> usize {
+        self.stripes.iter().filter(|s| s.urgent()).count()
+    }
 }
 
 /// Inspects every stripe; `repair` additionally reconstructs missing blocks
@@ -67,6 +74,33 @@ impl ScrubOutcome {
 /// used to compute margins.
 pub fn scrub(store: &ArchivalStore, first_failure_level: usize, repair: bool) -> ScrubOutcome {
     let mut outcome = ScrubOutcome::default();
+    run_scrub(store, first_failure_level, repair, &mut outcome);
+    outcome
+}
+
+/// [`scrub`] with the pass timed into `obs`'s cycle histogram, the
+/// degraded/urgent gauges updated, the repair counter bumped, and one
+/// `scrub_cycle` event emitted. The outcome is identical to [`scrub`].
+pub fn scrub_observed(
+    store: &ArchivalStore,
+    first_failure_level: usize,
+    repair: bool,
+    obs: &StoreObserver,
+) -> ScrubOutcome {
+    let span = obs.scrub_span();
+    let mut outcome = ScrubOutcome::default();
+    run_scrub(store, first_failure_level, repair, &mut outcome);
+    let elapsed_us = span.stop();
+    obs.record_scrub(&outcome, elapsed_us, repair);
+    outcome
+}
+
+fn run_scrub(
+    store: &ArchivalStore,
+    first_failure_level: usize,
+    repair: bool,
+    outcome: &mut ScrubOutcome,
+) {
     let codec = Codec::new(store.graph());
     for meta in store.list() {
         let n = store.graph().num_nodes();
@@ -110,7 +144,6 @@ pub fn scrub(store: &ArchivalStore, first_failure_level: usize, repair: bool) ->
         }
         outcome.stripes.push(health);
     }
-    outcome
 }
 
 #[cfg(test)]
@@ -207,6 +240,60 @@ mod tests {
         let clean = scrub(&store, 2, false);
         assert_eq!(clean.degraded_count(), 0);
         assert_eq!(store.get(id).unwrap(), b"bit rot happens");
+    }
+
+    #[test]
+    fn urgent_count_tracks_margin() {
+        let store = ArchivalStore::new(small_graph());
+        store.put("a", b"one").unwrap();
+        store.put("b", b"two").unwrap();
+        store.fail_device(0).unwrap();
+        // first_failure_level 3: one missing block leaves margin 2 — degraded
+        // but not urgent.
+        let relaxed = scrub(&store, 3, false);
+        assert_eq!(relaxed.degraded_count(), 2);
+        assert_eq!(relaxed.urgent_count(), 0);
+        // Level 2: margin 1 — urgent.
+        let tight = scrub(&store, 2, false);
+        assert_eq!(tight.urgent_count(), 2);
+    }
+
+    #[test]
+    fn observed_scrub_matches_and_records() {
+        use crate::obs::StoreObserver;
+        use tornado_obs::{EventFormat, EventSink};
+
+        let store = ArchivalStore::new(small_graph());
+        store.put("a", b"payload").unwrap();
+        store.fail_device(0).unwrap();
+        store.replace_device(0).unwrap();
+
+        let (events, buf) = EventSink::memory(EventFormat::Json);
+        let obs = StoreObserver::disabled().with_events(events);
+        let plain = scrub(&store, 2, false);
+        let observed = scrub_observed(&store, 2, false, &obs);
+        assert_eq!(plain, observed);
+        assert_eq!(obs.degraded.get(), 1);
+        assert_eq!(obs.urgent.get(), 1);
+        assert_eq!(obs.scrub_cycles.get(), 1);
+        assert_eq!(obs.scrub_cycle_us.count(), 1);
+
+        let repaired = scrub_observed(&store, 2, true, &obs);
+        assert_eq!(repaired.blocks_repaired, 1);
+        assert_eq!(obs.blocks_repaired.get(), 1);
+        assert_eq!(obs.scrub_cycles.get(), 2);
+
+        // Post-repair scrub: gauges reflect the latest pass, not history.
+        scrub_observed(&store, 2, false, &obs);
+        assert_eq!(obs.degraded.get(), 0);
+        assert_eq!(obs.urgent.get(), 0);
+
+        let lines = buf.lock().unwrap();
+        assert_eq!(lines.len(), 3);
+        let doc = tornado_obs::json::parse(&lines[1]).unwrap();
+        assert_eq!(doc.get("event").unwrap().as_str(), Some("scrub_cycle"));
+        assert_eq!(doc.get("repaired").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("repair"), Some(&tornado_obs::Json::Bool(true)));
     }
 
     #[test]

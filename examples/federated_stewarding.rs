@@ -11,6 +11,7 @@
 
 use tornado::sim::multi::{first_failure_detected, FederatedSearchConfig};
 use tornado::store::federation::FetchPath;
+use tornado::store::scrubber::scrub;
 use tornado::store::{FederatedStore, StoreError};
 
 fn main() {
@@ -48,6 +49,17 @@ fn main() {
     ));
     println!("site A can no longer reconstruct on its own");
 
+    // The scrubber quantifies the damage: every stripe on site A is past
+    // the graph's worst-case bound (negative margin ⇒ urgent).
+    let health = scrub(fed.site_a(), 5, false);
+    println!(
+        "site A scrub: {} stripes, {} degraded, {} urgent, {} unrecoverable",
+        health.stripes.len(),
+        health.degraded_count(),
+        health.urgent_count(),
+        health.objects_incomplete.len()
+    );
+
     // Site B serves the read.
     let (payload, path) = fed.get(id).expect("federated read");
     assert_eq!(payload.len(), 100_000);
@@ -81,6 +93,14 @@ fn main() {
     let (_, path) = fed.get(id).expect("post-repair read");
     assert_eq!(path, FetchPath::SiteA);
     println!("site A self-sufficient again");
+
+    let healed = scrub(fed.site_a(), 5, false);
+    assert_eq!(healed.degraded_count(), 0);
+    assert_eq!(healed.urgent_count(), 0);
+    println!(
+        "post-repair scrub: {} stripes, 0 degraded, 0 urgent",
+        healed.stripes.len()
+    );
 
     // How much better is a complementary pair than doubling up one graph?
     let same = first_failure_detected(&graph_a, &graph_a, &cfg);
