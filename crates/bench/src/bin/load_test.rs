@@ -1,0 +1,8 @@
+//! Standalone runner for the serving-layer load test.
+
+use tornado_bench::experiments::load_test;
+use tornado_bench::Effort;
+
+fn main() {
+    print!("{}", load_test::run(&Effort::from_env()));
+}

@@ -43,6 +43,7 @@ fn main() {
         ("Scrub-interval sweep", exp::scrub_sweep::run),
         ("Size sweep (Plank regime)", exp::size_sweep::run),
         ("Federated failure profiles", exp::fed_profile::run),
+        ("Serving-layer load test", exp::load_test::run),
     ];
 
     let suite_start = Instant::now();
@@ -64,7 +65,7 @@ fn main() {
     }
     println!("# {:<38} {:>10}", "TOTAL", total_ms);
 
-    let manifest = Json::Obj(vec![
+    let mut manifest_fields = vec![
         ("suite".into(), Json::Str("tornado-run-all".into())),
         ("mode".into(), Json::Str(build_mode().into())),
         ("mc_trials".into(), Json::U64(effort.mc_trials)),
@@ -89,7 +90,22 @@ fn main() {
                     .collect(),
             ),
         ),
-    ]);
+    ];
+    // The load test is the one experiment whose headline numbers matter
+    // beyond its wall time; surface them as a manifest summary row.
+    if let Some(s) = *exp::load_test::LAST_SUMMARY.lock().unwrap() {
+        manifest_fields.push((
+            "load_test".into(),
+            Json::Obj(vec![
+                ("ops".into(), Json::U64(s.ops)),
+                ("ops_per_sec".into(), Json::F64(s.ops_per_sec)),
+                ("latency_p99_us".into(), Json::U64(s.p99_us)),
+                ("degraded_reads".into(), Json::U64(s.degraded_reads)),
+                ("payload_mismatches".into(), Json::U64(s.payload_mismatches)),
+            ]),
+        ));
+    }
+    let manifest = Json::Obj(manifest_fields);
     match std::fs::write(manifest_path, manifest.to_pretty()) {
         Ok(()) => println!("# wrote {manifest_path}"),
         Err(e) => eprintln!("# could not write {manifest_path}: {e}"),

@@ -1,0 +1,119 @@
+//! Serving-layer load test: degraded reads under live concurrent load.
+//!
+//! The paper measures its codes statically; this experiment measures them
+//! *serving*. It boots an in-process `tornado-server` on a loopback
+//! ephemeral port, drives it with the seeded closed-loop load generator
+//! (weighted put/get/delete, zipfian popularity), fails four devices
+//! mid-run — the certified tolerance of catalog graph 1 — and reports
+//! throughput, latency percentiles, and how many reads the Tornado decoder
+//! served through the failures. Every GET is verified byte-for-byte, so
+//! the `payload mismatches` row is the live analogue of the worst-case
+//! search's "no pattern of 4 losses is fatal".
+
+use crate::effort::Effort;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use tornado_server::{run_load, serve, Client, LoadConfig, ServerConfig, ServerObserver};
+use tornado_store::ArchivalStore;
+
+/// Headline numbers of the last [`run`], for the `run_all` manifest.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadSummary {
+    /// Completed operations.
+    pub ops: u64,
+    /// Completed operations per second.
+    pub ops_per_sec: f64,
+    /// 99th-percentile client-observed latency, microseconds.
+    pub p99_us: u64,
+    /// Reads the server answered through the degraded (decode) path.
+    pub degraded_reads: u64,
+    /// GETs whose payload failed byte-for-byte verification (must be 0).
+    pub payload_mismatches: u64,
+}
+
+/// Last run's summary (populated by [`run`], read by `run_all`).
+pub static LAST_SUMMARY: Mutex<Option<LoadSummary>> = Mutex::new(None);
+
+/// Devices the injector fails mid-run — within the certified tolerance of
+/// catalog graph 1 (survives ANY four losses), so correctness must hold.
+pub const FAIL_DEVICES: [u32; 4] = [7, 29, 55, 88];
+
+/// Runs the load test.
+pub fn run(effort: &Effort) -> String {
+    // Scale the measured window with effort, but keep the smoke setting
+    // fast enough for CI.
+    let duration_ms = (effort.mc_trials / 16).clamp(800, 5_000);
+
+    let store = Arc::new(ArchivalStore::new(tornado_core::tornado_graph_1()));
+    let server_cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        queue_depth: 64,
+        ..ServerConfig::default()
+    };
+    let handle = serve(server_cfg, store, ServerObserver::shared()).expect("bind loopback");
+    let addr = handle.local_addr().to_string();
+
+    let cfg = LoadConfig {
+        addr: addr.clone(),
+        connections: 4,
+        duration_ms,
+        seed: effort.seed,
+        prefill: 6,
+        payload_min: 1 << 10,
+        payload_max: 32 << 10,
+        fail_devices: FAIL_DEVICES.to_vec(),
+        fail_after_ms: duration_ms / 4,
+        fail_spacing_ms: 25,
+        ..LoadConfig::default()
+    };
+    let report = run_load(&cfg).expect("load run against in-process server");
+
+    let mut admin = Client::connect(&addr).expect("admin connection");
+    admin.shutdown().expect("graceful shutdown");
+    handle.join();
+
+    *LAST_SUMMARY.lock().unwrap() = Some(LoadSummary {
+        ops: report.ops,
+        ops_per_sec: report.ops_per_sec,
+        p99_us: report.p99_us(),
+        degraded_reads: report.degraded_reads,
+        payload_mismatches: report.payload_mismatches,
+    });
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Serving-layer load test — catalog graph 1, {} connections, seed {}",
+        cfg.connections, cfg.seed
+    );
+    let _ = writeln!(
+        out,
+        "# {} devices failed mid-run at t={} ms: {:?}",
+        FAIL_DEVICES.len(),
+        cfg.fail_after_ms,
+        report.devices_failed
+    );
+    let _ = writeln!(out, "metric, value");
+    let _ = writeln!(out, "window_ms, {}", report.elapsed_ms);
+    let _ = writeln!(out, "ops, {}", report.ops);
+    let _ = writeln!(out, "ops_per_sec, {:.0}", report.ops_per_sec);
+    let _ = writeln!(
+        out,
+        "mix_put_get_delete, {}/{}/{}",
+        report.puts, report.gets, report.deletes
+    );
+    let _ = writeln!(out, "latency_p50_us, {}", report.p50_us());
+    let _ = writeln!(out, "latency_p99_us, {}", report.p99_us());
+    let _ = writeln!(out, "busy_retries, {}", report.busy_retries);
+    let _ = writeln!(out, "errors, {}", report.errors);
+    let _ = writeln!(out, "degraded_reads_served, {}", report.degraded_reads);
+    let _ = writeln!(out, "unrecoverable_reads, {}", report.unrecoverable);
+    let _ = writeln!(out, "payload_mismatches, {}", report.payload_mismatches);
+    assert_eq!(
+        report.payload_mismatches, 0,
+        "reads through {} failures must stay byte-perfect",
+        FAIL_DEVICES.len()
+    );
+    out
+}

@@ -8,6 +8,7 @@ pub mod fig3_table1;
 pub mod fig4_table2;
 pub mod fig5_table3;
 pub mod fig6_table4;
+pub mod load_test;
 pub mod plank_overhead;
 pub mod retrieval;
 pub mod scrub_sweep;

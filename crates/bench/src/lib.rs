@@ -16,6 +16,7 @@
 //! | `table7` | Table 7 — federated multi-graph first failure |
 //! | `retrieval_ablation` | §5.2/§6 guided-retrieval extension |
 //! | `degree_sweep` | §4.3 connectivity trade-off ablation |
+//! | `load_test` | serving-layer load test — degraded reads under live load |
 //! | `run_all` | everything above, in order |
 //!
 //! Fidelity knobs come from the environment so `cargo bench` and CI stay

@@ -495,8 +495,11 @@ pub fn workload(args: &ParsedArgs) -> CmdResult {
         ..Default::default()
     };
     let events = tornado_store::generate_events(&cfg, store.num_devices());
-    let report = tornado_store::replay(&store, &events).map_err(|e| e.to_string())?;
+    let report = tornado_store::replay(&store, &events);
     println!("reads ok/failed: {}/{}", report.reads_ok, report.reads_failed);
+    if report.events_failed > 0 {
+        println!("events rejected mid-replay: {}", report.events_failed);
+    }
     println!("bytes ingested/served: {}/{}", report.bytes_ingested, report.bytes_served);
     println!(
         "blocks fetched vs naive: {}/{} ({:.0}% activations saved)",
@@ -505,5 +508,142 @@ pub fn workload(args: &ParsedArgs) -> CmdResult {
         100.0 * report.activation_savings()
     );
     println!("blocks repaired by scrubs: {}", report.blocks_repaired);
+    Ok(())
+}
+
+/// `tornado serve`
+pub fn serve(args: &ParsedArgs) -> CmdResult {
+    let obs = CliObs::from_args(args);
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7401").to_string();
+    let workers: usize = args.get_parsed("workers", 4)?;
+    let queue_depth: usize = args.get_parsed("queue-depth", 64)?;
+    let default_deadline_ms: u32 = args.get_parsed("deadline-ms", 0)?;
+    let (graph, label) = if args.get("graph").is_some() || args.get("catalog").is_some() {
+        load_target_graph(args)?
+    } else {
+        (tornado_core::tornado_graph_1(), "catalog:1".into())
+    };
+
+    let store = std::sync::Arc::new(tornado_store::ArchivalStore::new(graph));
+    let server_obs = std::sync::Arc::new(
+        tornado_server::ServerObserver::disabled().with_events(obs.events()),
+    );
+    let config = tornado_server::ServerConfig {
+        addr,
+        workers,
+        queue_depth,
+        default_deadline_ms,
+        ..tornado_server::ServerConfig::default()
+    };
+    let handle = tornado_server::serve(config, std::sync::Arc::clone(&store), std::sync::Arc::clone(&server_obs))
+        .map_err(|e| format!("bind: {e}"))?;
+    let bound = handle.local_addr();
+    obs.status(
+        "serve_listening",
+        &[
+            ("addr", Json::Str(bound.to_string())),
+            ("graph", Json::Str(label.clone())),
+            ("workers", Json::U64(workers as u64)),
+            ("queue_depth", Json::U64(queue_depth as u64)),
+        ],
+    );
+
+    // With `--addr 127.0.0.1:0` the kernel picks the port; publish it
+    // atomically (write + rename) so scripts can poll for the file and
+    // never observe a partial write.
+    if let Some(port_file) = args.get("port-file") {
+        let tmp = format!("{port_file}.tmp");
+        std::fs::write(&tmp, format!("{bound}\n")).map_err(|e| format!("{tmp}: {e}"))?;
+        std::fs::rename(&tmp, port_file).map_err(|e| format!("{port_file}: {e}"))?;
+    }
+
+    // Serve until a SHUTDOWN op drains the server.
+    let started = std::time::Instant::now();
+    handle.join();
+    obs.write_metrics("serve", |snap| {
+        snap.set("graph", Json::Str(label.clone()));
+        snap.set("addr", Json::Str(bound.to_string()));
+        let final_snap = server_obs.snapshot(&store, started.elapsed().as_millis() as u64);
+        if let Ok(doc) = tornado_obs::json::parse(&final_snap.to_pretty()) {
+            snap.set("server", doc);
+        }
+    })?;
+    obs.status("serve_stopped", &[]);
+    Ok(())
+}
+
+/// `tornado load`
+pub fn load(args: &ParsedArgs) -> CmdResult {
+    let obs = CliObs::from_args(args);
+    let mut fail_devices = Vec::new();
+    for d in args.get_all("fail") {
+        fail_devices.push(d.parse::<u32>().map_err(|e| format!("--fail {d}: {e}"))?);
+    }
+    let cfg = tornado_server::LoadConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7401").to_string(),
+        connections: args.get_parsed("connections", 4)?,
+        duration_ms: args.get_parsed("duration-ms", 2_000)?,
+        seed: args.get_parsed("seed", 1)?,
+        mix: tornado_server::OpMix {
+            put: args.get_parsed("put", 20)?,
+            get: args.get_parsed("get", 75)?,
+            delete: args.get_parsed("delete", 5)?,
+        },
+        payload_min: args.get_parsed("payload-min", 1usize << 10)?,
+        payload_max: args.get_parsed("payload-max", 64usize << 10)?,
+        zipf_theta: args.get_parsed("zipf", 0.99)?,
+        prefill: args.get_parsed("prefill", 8)?,
+        fail_devices,
+        fail_after_ms: args.get_parsed("fail-after-ms", 300)?,
+        fail_spacing_ms: args.get_parsed("fail-spacing-ms", 50)?,
+        deadline_ms: args.get_parsed("deadline-ms", 0)?,
+    };
+
+    let report = tornado_server::run_load(&cfg).map_err(|e| format!("load: {e}"))?;
+    println!(
+        "ops: {} in {} ms ({:.0} ops/s)",
+        report.ops, report.elapsed_ms, report.ops_per_sec
+    );
+    println!(
+        "mix: {} put / {} get / {} delete",
+        report.puts, report.gets, report.deletes
+    );
+    println!(
+        "latency us: p50 {} / p99 {} (mean {:.0}, max {})",
+        report.p50_us(),
+        report.p99_us(),
+        report.latency_us.mean(),
+        report.latency_us.max().unwrap_or(0)
+    );
+    println!(
+        "backpressure: {} busy retries; errors: {}; unrecoverable: {}",
+        report.busy_retries, report.errors, report.unrecoverable
+    );
+    println!(
+        "payload mismatches: {} (must be 0)",
+        report.payload_mismatches
+    );
+    if !report.devices_failed.is_empty() {
+        println!(
+            "devices failed mid-run: {:?}; degraded reads served: {}",
+            report.devices_failed, report.degraded_reads
+        );
+    }
+
+    if let Some(path) = args.get("metrics") {
+        report
+            .snapshot(cfg.seed)
+            .write(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+        obs.status("metrics_written", &[("path", Json::Str(path.into()))]);
+    }
+    if args.flag("shutdown") {
+        let mut c = tornado_server::Client::connect(&cfg.addr).map_err(|e| format!("shutdown: {e}"))?;
+        c.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        obs.status("server_shutdown_sent", &[]);
+    }
+    if report.payload_mismatches > 0 {
+        return Err(format!("{} payload mismatches", report.payload_mismatches));
+    }
     Ok(())
 }

@@ -41,6 +41,17 @@ COMMANDS:
     lifetime     Annual loss with scrub/repair       --graph FILE [--afr 0.01]
                                                      [--scrubs 0] [--trials 100000]
     workload     Synthetic archival workload replay  [--seed N] [--objects 20] [--reads 100]
+    serve        TCP archival block service          [--addr 127.0.0.1:7401] [--workers 4]
+                                                     [--queue-depth 64] [--deadline-ms 0]
+                                                     [--catalog 1|2|3 | --graph FILE]
+                                                     [--port-file FILE]
+    load         Closed-loop load generator          --addr ADDR [--connections 4]
+                                                     [--duration-ms 2000] [--seed N]
+                                                     [--put 20 --get 75 --delete 5]
+                                                     [--payload-min N --payload-max N]
+                                                     [--zipf 0.99] [--prefill 8]
+                                                     [--fail DEV]... [--fail-after-ms 300]
+                                                     [--metrics FILE] [--shutdown]
 
 OBSERVABILITY (worst-case, monte-carlo, scrub, and their aliases):
     --progress        Throttled progress lines (rate + ETA) on stderr
@@ -72,6 +83,8 @@ pub fn run_command(command: &str, parsed: &ParsedArgs) -> Result<(), String> {
         "incremental" => commands::incremental(parsed),
         "lifetime" => commands::lifetime(parsed),
         "workload" => commands::workload(parsed),
+        "serve" => commands::serve(parsed),
+        "load" => commands::load(parsed),
         other => Err(format!("unknown command '{other}'")),
     }
 }

@@ -1,0 +1,145 @@
+//! Blocking client for the archival block service.
+//!
+//! One [`Client`] wraps one TCP connection and runs one request at a time
+//! (the protocol is strictly request/response per connection — open more
+//! clients for concurrency). Error statuses come back as typed
+//! [`ClientError`] variants so callers can distinguish backpressure
+//! ([`ClientError::Busy`] — back off and retry) from real failures.
+
+use crate::error::ClientError;
+use crate::protocol::{read_frame, write_frame, FrameRead, Op, Request, Response, StatMeta};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking connection to one server.
+pub struct Client {
+    stream: TcpStream,
+    /// Deadline stamped on every request (milliseconds; 0 = none).
+    deadline_ms: u32,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, deadline_ms: 0 })
+    }
+
+    /// Connects with a bounded connection attempt.
+    pub fn connect_timeout(addr: &std::net::SocketAddr, timeout: Duration) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, deadline_ms: 0 })
+    }
+
+    /// Sets the per-request deadline stamped on subsequent requests
+    /// (0 clears it).
+    pub fn set_deadline_ms(&mut self, deadline_ms: u32) {
+        self.deadline_ms = deadline_ms;
+    }
+
+    /// Sends one request and reads its response frame.
+    pub fn roundtrip(&mut self, op: Op) -> Result<Response, ClientError> {
+        let req = Request { deadline_ms: self.deadline_ms, op };
+        write_frame(&mut self.stream, &req.encode())?;
+        match read_frame(&mut self.stream)? {
+            FrameRead::Frame(body) => Ok(Response::decode(&body)?),
+            FrameRead::Eof => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            ))),
+            FrameRead::TimedOut => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "timed out waiting for response",
+            ))),
+        }
+    }
+
+    /// Stores `payload` under `name`, returning the assigned object id.
+    pub fn put(&mut self, name: &str, payload: &[u8]) -> Result<u64, ClientError> {
+        let resp = self.roundtrip(Op::Put { name: name.into(), payload: payload.to_vec() })?;
+        match resp {
+            Response::PutOk { id } => Ok(id),
+            other => Err(error_from(other, "PUT")),
+        }
+    }
+
+    /// Retrieves an object (transparently degraded under device failures).
+    pub fn get(&mut self, id: u64) -> Result<Vec<u8>, ClientError> {
+        match self.roundtrip(Op::Get { id })? {
+            Response::GetOk { payload } => Ok(payload),
+            other => Err(error_from(other, "GET")),
+        }
+    }
+
+    /// Deletes an object.
+    pub fn delete(&mut self, id: u64) -> Result<(), ClientError> {
+        match self.roundtrip(Op::Delete { id })? {
+            Response::Ok => Ok(()),
+            other => Err(error_from(other, "DELETE")),
+        }
+    }
+
+    /// Fetches object metadata.
+    pub fn stat(&mut self, id: u64) -> Result<StatMeta, ClientError> {
+        match self.roundtrip(Op::Stat { id })? {
+            Response::StatOk { meta } => Ok(meta),
+            other => Err(error_from(other, "STAT")),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(Op::Ping)? {
+            Response::Ok => Ok(()),
+            other => Err(error_from(other, "PING")),
+        }
+    }
+
+    /// Admin: fails a device (its contents are destroyed).
+    pub fn fail_device(&mut self, device: u32) -> Result<(), ClientError> {
+        match self.roundtrip(Op::FailDevice { device })? {
+            Response::Ok => Ok(()),
+            other => Err(error_from(other, "FAIL_DEVICE")),
+        }
+    }
+
+    /// Admin: replaces a failed device with an empty one.
+    pub fn revive_device(&mut self, device: u32) -> Result<(), ClientError> {
+        match self.roundtrip(Op::ReviveDevice { device })? {
+            Response::Ok => Ok(()),
+            other => Err(error_from(other, "REVIVE_DEVICE")),
+        }
+    }
+
+    /// Admin: fetches the server's `tornado-metrics-v1` snapshot as JSON.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(Op::Metrics)? {
+            Response::MetricsOk { json } => Ok(json),
+            other => Err(error_from(other, "METRICS")),
+        }
+    }
+
+    /// Admin: asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(Op::Shutdown)? {
+            Response::Ok => Ok(()),
+            other => Err(error_from(other, "SHUTDOWN")),
+        }
+    }
+}
+
+/// Maps an error-status response onto a typed [`ClientError`].
+fn error_from(resp: Response, op: &str) -> ClientError {
+    match resp {
+        Response::Busy => ClientError::Busy,
+        Response::NotFound { id } => ClientError::NotFound(id),
+        Response::Unrecoverable { id, lost_blocks } => ClientError::Unrecoverable { id, lost_blocks },
+        Response::BadRequest { message } => ClientError::BadRequest(message),
+        Response::DeadlineExceeded => ClientError::DeadlineExceeded,
+        Response::ShuttingDown => ClientError::ShuttingDown,
+        Response::ServerError { message } => ClientError::Server(message),
+        ok => ClientError::Unexpected(format!("{op} answered {}", ok.kind())),
+    }
+}

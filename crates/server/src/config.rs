@@ -1,0 +1,47 @@
+//! Server configuration.
+
+/// Tunables for one [`crate::server::serve`] instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7401`; port 0 picks an ephemeral
+    /// port (read it back from [`crate::server::ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Worker threads draining the request queue.
+    pub workers: usize,
+    /// Bounded queue depth: requests beyond this are rejected with BUSY
+    /// (explicit backpressure, never unbounded buffering).
+    pub queue_depth: usize,
+    /// Server-side deadline applied when a request carries none
+    /// (milliseconds; 0 disables).
+    pub default_deadline_ms: u32,
+    /// Per-connection read poll interval in milliseconds — how often an
+    /// idle connection checks the shutdown flag. Also bounds how long
+    /// shutdown waits on idle connections.
+    pub poll_interval_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 64,
+            default_deadline_ms: 0,
+            poll_interval_ms: 50,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServerConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.queue_depth >= 1);
+        assert!(c.poll_interval_ms >= 1);
+        assert_eq!(c.default_deadline_ms, 0);
+    }
+}

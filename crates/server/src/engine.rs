@@ -1,0 +1,331 @@
+//! Request execution: the worker pool behind the bounded queue.
+//!
+//! Connection handlers decode frames and [`Engine::submit`] jobs; a fixed
+//! pool of workers pops them, enforces per-request deadlines, executes
+//! against the shared [`ArchivalStore`], and sends the [`Response`] back
+//! through the job's reply channel. The queue is the only buffer between
+//! accept and execute, so a full queue is an immediate BUSY — the system
+//! sheds load instead of hiding it in growing latency.
+
+use crate::obs::ServerObserver;
+use crate::protocol::{Op, Request, Response, StatMeta};
+use crate::queue::{BoundedQueue, PushError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+use tornado_obs::Json;
+use tornado_store::{ArchivalStore, StoreError};
+
+/// One queued request plus everything needed to answer it.
+pub(crate) struct Job {
+    /// The decoded request.
+    pub request: Request,
+    /// Where the connection handler waits for the answer.
+    pub reply: mpsc::Sender<Response>,
+    /// When the server accepted the request (queue-wait measurement).
+    pub accepted_at: Instant,
+    /// Absolute deadline, if the request (or server default) set one.
+    pub deadline: Option<Instant>,
+}
+
+/// The worker pool and its bounded queue.
+pub(crate) struct Engine {
+    queue: Arc<BoundedQueue<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    obs: Arc<ServerObserver>,
+}
+
+impl Engine {
+    /// Spawns `workers` threads draining a queue of depth `queue_depth`.
+    pub fn start(
+        store: Arc<ArchivalStore>,
+        obs: Arc<ServerObserver>,
+        started: Instant,
+        workers: usize,
+        queue_depth: usize,
+    ) -> Self {
+        let queue = Arc::new(BoundedQueue::new(queue_depth));
+        let handles = (0..workers.max(1))
+            .map(|worker| {
+                let queue = Arc::clone(&queue);
+                let store = Arc::clone(&store);
+                let obs = Arc::clone(&obs);
+                thread::Builder::new()
+                    .name(format!("tornado-worker-{worker}"))
+                    .spawn(move || worker_loop(&queue, &store, &obs, started))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self { queue, workers: handles, obs }
+    }
+
+    /// Admits a job or answers with backpressure: `Busy` when the queue is
+    /// at depth, `ShuttingDown` once draining has begun.
+    pub fn submit(&self, job: Job) -> Result<(), Response> {
+        let kind = job.request.op.kind();
+        match self.queue.try_push(job) {
+            Ok(depth) => {
+                self.obs.count_op(kind);
+                self.obs.record_queue_depth(depth);
+                Ok(())
+            }
+            Err(PushError::Busy(_)) => {
+                self.obs.busy_rejected.inc();
+                self.obs.events.emit(
+                    "server.busy",
+                    &[("op", Json::Str(kind.into()))],
+                );
+                Err(Response::Busy)
+            }
+            Err(PushError::Closed(_)) => Err(Response::ShuttingDown),
+        }
+    }
+
+    /// Closes the queue and joins every worker once queued jobs drain.
+    pub fn shutdown(self) {
+        self.queue.close();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(
+    queue: &BoundedQueue<Job>,
+    store: &ArchivalStore,
+    obs: &ServerObserver,
+    started: Instant,
+) {
+    static REQ_SEQ: AtomicU64 = AtomicU64::new(0);
+    while let Some(job) = queue.pop() {
+        obs.record_queue_depth(queue.len());
+        let picked_up = Instant::now();
+        let wait_us = picked_up.duration_since(job.accepted_at).as_micros() as u64;
+        obs.queue_wait_us.record(wait_us);
+
+        let response = if job.deadline.is_some_and(|d| picked_up > d) {
+            obs.deadline_exceeded.inc();
+            Response::DeadlineExceeded
+        } else {
+            execute(&job.request.op, store, obs, started)
+        };
+
+        let service_us = picked_up.elapsed().as_micros() as u64;
+        match job.request.op.kind() {
+            "put" => obs.put_us.record(service_us),
+            "get" => obs.get_us.record(service_us),
+            _ => obs.other_us.record(service_us),
+        }
+        if obs.events.is_enabled() {
+            obs.events.emit(
+                "server.request",
+                &[
+                    ("seq", Json::U64(REQ_SEQ.fetch_add(1, Ordering::Relaxed))),
+                    ("op", Json::Str(job.request.op.kind().into())),
+                    ("status", Json::Str(response.kind().into())),
+                    ("queue_wait_us", Json::U64(wait_us)),
+                    ("service_us", Json::U64(service_us)),
+                ],
+            );
+        }
+        // A dead reply channel means the connection hung up; drop the
+        // response, the work itself (e.g. a PUT) already happened.
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Runs one operation against the store and maps the result onto the wire.
+fn execute(op: &Op, store: &ArchivalStore, obs: &ServerObserver, started: Instant) -> Response {
+    match op {
+        Op::Ping => Response::Ok,
+        Op::Put { name, payload } => match store.put(name, payload) {
+            Ok(id) => {
+                obs.bytes_in.add(payload.len() as u64);
+                Response::PutOk { id }
+            }
+            Err(e) => error_response(e, obs),
+        },
+        Op::Get { id } => match store.get_detailed(*id) {
+            Ok((payload, stats)) => {
+                if stats.degraded() {
+                    obs.degraded_reads.inc();
+                    obs.blocks_recovered.add(stats.blocks_recovered as u64);
+                }
+                obs.bytes_out.add(payload.len() as u64);
+                Response::GetOk { payload }
+            }
+            Err(e) => error_response(e, obs),
+        },
+        Op::Delete { id } => match store.delete(*id) {
+            Ok(()) => Response::Ok,
+            Err(e) => error_response(e, obs),
+        },
+        Op::Stat { id } => match store.meta(*id) {
+            Some(meta) => Response::StatOk {
+                meta: StatMeta {
+                    id: meta.id,
+                    name: meta.name,
+                    size: meta.size as u64,
+                    block_len: meta.block_len as u64,
+                    rotation: meta.rotation as u32,
+                },
+            },
+            None => {
+                obs.not_found.inc();
+                Response::NotFound { id: *id }
+            }
+        },
+        Op::FailDevice { device } => match store.fail_device(*device as usize) {
+            Ok(()) => {
+                obs.store_obs.record_device_health(store);
+                obs.events.emit("server.fail_device", &[("device", Json::U64(*device as u64))]);
+                Response::Ok
+            }
+            Err(e) => error_response(e, obs),
+        },
+        Op::ReviveDevice { device } => match store.replace_device(*device as usize) {
+            Ok(()) => {
+                obs.store_obs.record_device_health(store);
+                obs.events.emit("server.revive_device", &[("device", Json::U64(*device as u64))]);
+                Response::Ok
+            }
+            Err(e) => error_response(e, obs),
+        },
+        Op::Metrics => {
+            let elapsed_ms = started.elapsed().as_millis() as u64;
+            Response::MetricsOk { json: obs.snapshot(store, elapsed_ms).to_pretty() }
+        }
+        // The connection layer intercepts SHUTDOWN before queueing; answer
+        // OK if one slips through (e.g. submitted via the engine directly).
+        Op::Shutdown => Response::Ok,
+    }
+}
+
+fn error_response(e: StoreError, obs: &ServerObserver) -> Response {
+    match e {
+        StoreError::UnknownObject { id } => {
+            obs.not_found.inc();
+            Response::NotFound { id }
+        }
+        StoreError::Unrecoverable { id, lost_blocks } => {
+            obs.unrecoverable.inc();
+            Response::Unrecoverable { id, lost_blocks: lost_blocks.len() as u32 }
+        }
+        StoreError::NoSuchDevice { device, pool_size } => {
+            obs.bad_requests.inc();
+            Response::BadRequest {
+                message: format!("device {device} out of range (pool size {pool_size})"),
+            }
+        }
+        other => {
+            obs.errors.inc();
+            Response::ServerError { message: other.to_string() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tornado_core::tornado_graph_1;
+
+    fn engine_over(store: Arc<ArchivalStore>, workers: usize, depth: usize) -> Engine {
+        Engine::start(store, ServerObserver::shared(), Instant::now(), workers, depth)
+    }
+
+    fn roundtrip(engine: &Engine, op: Op) -> Response {
+        let (tx, rx) = mpsc::channel();
+        engine
+            .submit(Job {
+                request: Request { deadline_ms: 0, op },
+                reply: tx,
+                accepted_at: Instant::now(),
+                deadline: None,
+            })
+            .expect("queue has room");
+        rx.recv().expect("worker replies")
+    }
+
+    #[test]
+    fn put_get_delete_stat_round_trip_through_workers() {
+        let store = Arc::new(ArchivalStore::new(tornado_graph_1()));
+        let engine = engine_over(Arc::clone(&store), 2, 8);
+
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        let id = match roundtrip(&engine, Op::Put { name: "a".into(), payload: payload.clone() }) {
+            Response::PutOk { id } => id,
+            other => panic!("{other:?}"),
+        };
+        match roundtrip(&engine, Op::Get { id }) {
+            Response::GetOk { payload: got } => assert_eq!(got, payload),
+            other => panic!("{other:?}"),
+        }
+        match roundtrip(&engine, Op::Stat { id }) {
+            Response::StatOk { meta } => {
+                assert_eq!(meta.id, id);
+                assert_eq!(meta.size, payload.len() as u64);
+                assert_eq!(meta.name, "a");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(roundtrip(&engine, Op::Delete { id }), Response::Ok);
+        assert_eq!(roundtrip(&engine, Op::Get { id }), Response::NotFound { id });
+        engine.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_without_executing() {
+        let store = Arc::new(ArchivalStore::new(tornado_graph_1()));
+        let engine = engine_over(Arc::clone(&store), 1, 8);
+        let (tx, rx) = mpsc::channel();
+        engine
+            .submit(Job {
+                request: Request {
+                    deadline_ms: 1,
+                    op: Op::Put { name: "late".into(), payload: vec![1; 64] },
+                },
+                reply: tx,
+                accepted_at: Instant::now() - std::time::Duration::from_millis(50),
+                deadline: Some(Instant::now() - std::time::Duration::from_millis(10)),
+            })
+            .unwrap();
+        assert_eq!(rx.recv().unwrap(), Response::DeadlineExceeded);
+        assert!(store.list().is_empty(), "expired request must not execute");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn degraded_get_is_counted_and_correct() {
+        let store = Arc::new(ArchivalStore::new(tornado_graph_1()));
+        let obs = ServerObserver::shared();
+        let engine = Engine::start(Arc::clone(&store), Arc::clone(&obs), Instant::now(), 2, 8);
+
+        let payload: Vec<u8> = (0..9000u32).map(|i| (i * 7 % 256) as u8).collect();
+        let id = match roundtrip(&engine, Op::Put { name: "d".into(), payload: payload.clone() }) {
+            Response::PutOk { id } => id,
+            other => panic!("{other:?}"),
+        };
+        for device in [2, 17, 48, 95] {
+            assert_eq!(roundtrip(&engine, Op::FailDevice { device }), Response::Ok);
+        }
+        match roundtrip(&engine, Op::Get { id }) {
+            Response::GetOk { payload: got } => assert_eq!(got, payload),
+            other => panic!("{other:?}"),
+        }
+        assert!(obs.degraded_reads.get() >= 1, "read through 4 failures is degraded");
+        match roundtrip(&engine, Op::Metrics) {
+            Response::MetricsOk { json } => {
+                let doc = tornado_obs::json::parse(&json).unwrap();
+                tornado_obs::snapshot::validate(&doc).unwrap();
+                let counters = doc.get("counters").unwrap();
+                assert!(counters.get("server.get.degraded").unwrap().as_u64().unwrap() >= 1);
+                let gauges = doc.get("gauges").unwrap();
+                assert_eq!(gauges.get("device.offline").unwrap().as_u64(), Some(4));
+            }
+            other => panic!("{other:?}"),
+        }
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,50 @@
+//! `tornado-server` — a concurrent archival block service over the
+//! Tornado-coded [`tornado_store::ArchivalStore`].
+//!
+//! The paper's methodology measures codes statically (worst-case erasure
+//! search, Monte-Carlo profiles); related storage-systems work (Dimakis et
+//! al., Park et al.) evaluates them *live* — repair traffic, degraded
+//! reads, reconstruction latency under load. This crate closes that gap
+//! with a serving layer built on `std::net` alone:
+//!
+//! * [`protocol`] — the length-prefixed binary wire format (PUT / GET /
+//!   DELETE / STAT object ops, PING, device fail/revive admin ops, a
+//!   metrics snapshot op, and SHUTDOWN);
+//! * [`queue`] — a bounded MPMC request queue with explicit backpressure:
+//!   past the configured depth the service answers BUSY instead of
+//!   buffering without bound;
+//! * [`engine`] — the fixed worker pool draining the queue, enforcing
+//!   per-request deadlines, and serving GETs through the store's guided
+//!   retrieval path (checksum failures and offline devices degrade into
+//!   erasures that the Tornado decoder reconstructs transparently);
+//! * [`server`] — the TCP accept loop, per-connection framing, and
+//!   graceful shutdown that drains in-flight requests before exiting;
+//! * [`client`] — a small blocking client library for the protocol;
+//! * [`load`] — a closed-loop multi-connection load generator with a
+//!   seeded operation mix (weighted put/get/delete, zipfian object
+//!   popularity) and mid-run device-failure injection, verifying every
+//!   GET byte-for-byte;
+//! * [`obs`] — `tornado-obs` counters, latency histograms, and JSON-lines
+//!   events for every stage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod load;
+pub mod obs;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::Client;
+pub use config::ServerConfig;
+pub use error::ClientError;
+pub use load::{run_load, LoadConfig, LoadReport, OpMix};
+pub use obs::ServerObserver;
+pub use protocol::{Op, Request, Response, StatMeta};
+pub use queue::BoundedQueue;
+pub use server::{serve, ServerHandle};

@@ -1,0 +1,512 @@
+//! Closed-loop load generator for the archival block service.
+//!
+//! [`run_load`] opens `connections` client connections, each driven by its
+//! own worker thread in a closed loop: pick the next operation from the
+//! seeded weighted mix, run it, record the latency, repeat until the clock
+//! runs out. Object popularity is zipfian — earlier objects are hotter —
+//! so GETs concentrate on a warm set the way archival read traffic does.
+//!
+//! Determinism: every random choice (op, object, payload size, payload
+//! bytes) derives from `LoadConfig::seed`, so two runs with the same seed
+//! issue the same operation stream per worker. Payload bytes regenerate
+//! from a per-object seed, which is how every GET is verified
+//! byte-for-byte — any corruption the decoder fails to repair shows up as
+//! a `payload_mismatches` count, not a silent pass.
+//!
+//! Mid-run failure injection: when `fail_devices` is non-empty, a
+//! dedicated admin connection fails those devices (spaced by
+//! `fail_spacing_ms`) after `fail_after_ms`, while the workers keep
+//! hammering the server — exercising the transparently-degraded read path
+//! under concurrency.
+
+use crate::client::Client;
+use crate::error::ClientError;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+use tornado_obs::{Histogram, Json, Snapshot};
+
+/// Weighted operation mix (weights need not sum to anything particular).
+#[derive(Clone, Copy, Debug)]
+pub struct OpMix {
+    /// Relative weight of PUT.
+    pub put: u32,
+    /// Relative weight of GET.
+    pub get: u32,
+    /// Relative weight of DELETE.
+    pub delete: u32,
+}
+
+impl Default for OpMix {
+    /// Read-heavy archival mix: mostly GETs, steady ingest, rare deletes.
+    fn default() -> Self {
+        Self { put: 20, get: 75, delete: 5 }
+    }
+}
+
+/// Tunables for one [`run_load`] run.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:7401`.
+    pub addr: String,
+    /// Concurrent connections, one closed-loop worker each.
+    pub connections: usize,
+    /// Wall-clock run length in milliseconds (after prefill).
+    pub duration_ms: u64,
+    /// Master seed — same seed, same per-worker operation stream.
+    pub seed: u64,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Smallest payload, bytes.
+    pub payload_min: usize,
+    /// Largest payload, bytes.
+    pub payload_max: usize,
+    /// Zipf exponent for object popularity (0 = uniform; ~0.99 typical).
+    pub zipf_theta: f64,
+    /// Objects each worker PUTs before the measured window opens, so GETs
+    /// have something to hit from the first sample.
+    pub prefill: usize,
+    /// Devices to fail mid-run (empty = no injection).
+    pub fail_devices: Vec<u32>,
+    /// Delay before the first injected failure, milliseconds.
+    pub fail_after_ms: u64,
+    /// Spacing between injected failures, milliseconds.
+    pub fail_spacing_ms: u64,
+    /// Per-request deadline stamped by each client (0 = none).
+    pub deadline_ms: u32,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7401".into(),
+            connections: 4,
+            duration_ms: 2_000,
+            seed: 1,
+            mix: OpMix::default(),
+            payload_min: 1 << 10,
+            payload_max: 64 << 10,
+            zipf_theta: 0.99,
+            prefill: 8,
+            fail_devices: Vec::new(),
+            fail_after_ms: 300,
+            fail_spacing_ms: 50,
+            deadline_ms: 0,
+        }
+    }
+}
+
+/// Aggregated result of one load run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Measured window length, milliseconds.
+    pub elapsed_ms: u64,
+    /// Completed operations (excludes busy retries).
+    pub ops: u64,
+    /// Completed PUTs.
+    pub puts: u64,
+    /// Completed GETs.
+    pub gets: u64,
+    /// Completed DELETEs.
+    pub deletes: u64,
+    /// BUSY rejections absorbed (each retried after backoff).
+    pub busy_retries: u64,
+    /// Operations that failed with a transport or server error.
+    pub errors: u64,
+    /// GETs answered UNRECOVERABLE (possible only past the fault
+    /// tolerance of the graph).
+    pub unrecoverable: u64,
+    /// GETs whose payload did not match the expected bytes — must be zero.
+    pub payload_mismatches: u64,
+    /// Completed operations per second.
+    pub ops_per_sec: f64,
+    /// Client-observed operation latency, microseconds.
+    pub latency_us: Histogram,
+    /// Devices failed by the injector during the run.
+    pub devices_failed: Vec<u32>,
+    /// `server.get.degraded` from the server's final metrics snapshot.
+    pub degraded_reads: u64,
+    /// The server's final `tornado-metrics-v1` snapshot (pretty JSON).
+    pub server_metrics_json: String,
+}
+
+impl LoadReport {
+    /// Median latency in microseconds.
+    pub fn p50_us(&self) -> u64 {
+        self.latency_us.percentile(0.5).unwrap_or(0)
+    }
+
+    /// 99th-percentile latency in microseconds.
+    pub fn p99_us(&self) -> u64 {
+        self.latency_us.percentile(0.99).unwrap_or(0)
+    }
+
+    /// Builds a client-side `tornado-metrics-v1` snapshot of this run,
+    /// embedding the server's own final snapshot under `"server"`.
+    pub fn snapshot(&self, seed: u64) -> Snapshot {
+        let mut snap = Snapshot::new("load", self.elapsed_ms);
+        snap.set("seed", Json::U64(seed))
+            .set("ops_per_sec", Json::F64(self.ops_per_sec))
+            .counter_value("load.ops", self.ops)
+            .counter_value("load.put", self.puts)
+            .counter_value("load.get", self.gets)
+            .counter_value("load.delete", self.deletes)
+            .counter_value("load.busy_retries", self.busy_retries)
+            .counter_value("load.errors", self.errors)
+            .counter_value("load.unrecoverable", self.unrecoverable)
+            .counter_value("load.payload_mismatches", self.payload_mismatches)
+            .counter_value("load.devices_failed", self.devices_failed.len() as u64)
+            .counter_value("load.degraded_reads", self.degraded_reads)
+            .histogram("load.latency_us", &self.latency_us);
+        if let Ok(server) = tornado_obs::json::parse(&self.server_metrics_json) {
+            snap.set("server", server);
+        }
+        snap
+    }
+}
+
+/// Deterministic payload bytes for object seed `seed` — regenerated on the
+/// GET side for byte-for-byte verification.
+pub fn payload_for(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut buf = vec![0u8; len];
+    for chunk in buf.chunks_mut(8) {
+        let v = rng.next_u64().to_le_bytes();
+        chunk.copy_from_slice(&v[..chunk.len()]);
+    }
+    buf
+}
+
+/// One worker's view of an object it stored.
+struct ObjEntry {
+    id: u64,
+    seed: u64,
+    len: usize,
+}
+
+/// Zipfian sampler over a growing table: object at rank `r` (insertion
+/// order) has weight `1/(r+1)^theta`, so earlier objects stay hottest.
+struct ZipfTable {
+    entries: Vec<ObjEntry>,
+    cumulative: Vec<f64>,
+    theta: f64,
+}
+
+impl ZipfTable {
+    fn new(theta: f64) -> Self {
+        Self { entries: Vec::new(), cumulative: Vec::new(), theta }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn push(&mut self, e: ObjEntry) {
+        let rank = self.entries.len();
+        let w = 1.0 / ((rank + 1) as f64).powf(self.theta);
+        let total = self.cumulative.last().copied().unwrap_or(0.0);
+        self.entries.push(e);
+        self.cumulative.push(total + w);
+    }
+
+    /// Samples an index zipfian-by-rank.
+    fn sample(&self, rng: &mut SmallRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty table");
+        let u = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= u).min(self.entries.len() - 1)
+    }
+
+    /// Removes index `i`, recomputing the rank weights of what remains.
+    fn remove(&mut self, i: usize) -> ObjEntry {
+        let e = self.entries.remove(i);
+        self.cumulative.clear();
+        let mut total = 0.0;
+        for rank in 0..self.entries.len() {
+            total += 1.0 / ((rank + 1) as f64).powf(self.theta);
+            self.cumulative.push(total);
+        }
+        e
+    }
+}
+
+/// Per-worker tallies, summed into the report after join.
+#[derive(Default)]
+struct WorkerTally {
+    ops: u64,
+    puts: u64,
+    gets: u64,
+    deletes: u64,
+    busy_retries: u64,
+    errors: u64,
+    unrecoverable: u64,
+    payload_mismatches: u64,
+    latency_us: Histogram,
+}
+
+/// Runs the load and returns the aggregated report.
+///
+/// Fails fast if the first connection cannot be established; individual
+/// op errors during the run are counted, not fatal.
+pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
+    // Probe the server before spawning anything.
+    let mut admin = Client::connect(&cfg.addr)?;
+    admin.ping()?;
+
+    let connections = cfg.connections.max(1);
+    let start = Instant::now();
+    let stop_at = start + Duration::from_millis(cfg.duration_ms);
+    let seq = Arc::new(AtomicU64::new(0));
+
+    let mut tallies: Vec<WorkerTally> = Vec::with_capacity(connections);
+    let mut devices_failed = Vec::new();
+    thread::scope(|s| {
+        let workers: Vec<_> = (0..connections)
+            .map(|worker| {
+                let cfg = cfg.clone();
+                let seq = Arc::clone(&seq);
+                s.spawn(move || worker_loop(&cfg, worker as u64, stop_at, &seq))
+            })
+            .collect();
+
+        // Failure injection rides on the admin connection while workers run.
+        if !cfg.fail_devices.is_empty() {
+            thread::sleep(Duration::from_millis(cfg.fail_after_ms));
+            for &device in &cfg.fail_devices {
+                match admin.fail_device(device) {
+                    Ok(()) => devices_failed.push(device),
+                    Err(_) => break,
+                }
+                thread::sleep(Duration::from_millis(cfg.fail_spacing_ms));
+            }
+        }
+
+        for w in workers {
+            tallies.push(w.join().expect("load worker panicked"));
+        }
+    });
+    let elapsed_ms = (start.elapsed().as_millis() as u64).max(1);
+
+    let mut report = LoadReport {
+        elapsed_ms,
+        ops: 0,
+        puts: 0,
+        gets: 0,
+        deletes: 0,
+        busy_retries: 0,
+        errors: 0,
+        unrecoverable: 0,
+        payload_mismatches: 0,
+        ops_per_sec: 0.0,
+        latency_us: Histogram::new(),
+        devices_failed,
+        degraded_reads: 0,
+        server_metrics_json: String::new(),
+    };
+    for t in &tallies {
+        report.ops += t.ops;
+        report.puts += t.puts;
+        report.gets += t.gets;
+        report.deletes += t.deletes;
+        report.busy_retries += t.busy_retries;
+        report.errors += t.errors;
+        report.unrecoverable += t.unrecoverable;
+        report.payload_mismatches += t.payload_mismatches;
+        report.latency_us.merge(&t.latency_us);
+    }
+    report.ops_per_sec = report.ops as f64 * 1000.0 / elapsed_ms as f64;
+
+    report.server_metrics_json = admin.metrics()?;
+    if let Ok(doc) = tornado_obs::json::parse(&report.server_metrics_json) {
+        report.degraded_reads = doc
+            .get("counters")
+            .and_then(|c| c.get("server.get.degraded"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+    }
+    Ok(report)
+}
+
+fn worker_loop(cfg: &LoadConfig, worker: u64, stop_at: Instant, seq: &AtomicU64) -> WorkerTally {
+    let mut tally = WorkerTally::default();
+    let mut client = match Client::connect(&cfg.addr) {
+        Ok(c) => c,
+        Err(_) => {
+            tally.errors += 1;
+            return tally;
+        }
+    };
+    client.set_deadline_ms(cfg.deadline_ms);
+    // Golden-ratio stride keeps per-worker streams uncorrelated while the
+    // whole run stays a pure function of cfg.seed.
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(worker + 1));
+    let mut table = ZipfTable::new(cfg.zipf_theta);
+
+    for _ in 0..cfg.prefill {
+        do_put(cfg, &mut client, &mut rng, &mut table, seq, &mut tally);
+    }
+
+    while Instant::now() < stop_at {
+        let total = cfg.mix.put + cfg.mix.get + cfg.mix.delete;
+        let pick = if total == 0 { 0 } else { rng.gen_range(0..total) };
+        if pick < cfg.mix.put || table.len() == 0 {
+            do_put(cfg, &mut client, &mut rng, &mut table, seq, &mut tally);
+        } else if pick < cfg.mix.put + cfg.mix.get {
+            do_get(&mut client, &mut rng, &mut table, &mut tally);
+        } else {
+            do_delete(&mut client, &mut rng, &mut table, &mut tally);
+        }
+    }
+    tally
+}
+
+fn do_put(
+    cfg: &LoadConfig,
+    client: &mut Client,
+    rng: &mut SmallRng,
+    table: &mut ZipfTable,
+    seq: &AtomicU64,
+    tally: &mut WorkerTally,
+) {
+    let len = if cfg.payload_max > cfg.payload_min {
+        rng.gen_range(cfg.payload_min..=cfg.payload_max)
+    } else {
+        cfg.payload_min.max(1)
+    };
+    let obj_seed = rng.next_u64();
+    let payload = payload_for(obj_seed, len.max(1));
+    // The atomic sequence makes names globally unique across workers;
+    // payload bytes stay a pure function of obj_seed.
+    let name = format!("load-{}", seq.fetch_add(1, Ordering::Relaxed));
+    loop {
+        let t = Instant::now();
+        match client.put(&name, &payload) {
+            Ok(id) => {
+                tally.latency_us.record(t.elapsed().as_micros() as u64);
+                tally.ops += 1;
+                tally.puts += 1;
+                table.push(ObjEntry { id, seed: obj_seed, len: len.max(1) });
+                return;
+            }
+            Err(ClientError::Busy) => {
+                tally.busy_retries += 1;
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => {
+                tally.errors += 1;
+                return;
+            }
+        }
+    }
+}
+
+fn do_get(client: &mut Client, rng: &mut SmallRng, table: &mut ZipfTable, tally: &mut WorkerTally) {
+    let i = table.sample(rng);
+    let (id, seed, len) = {
+        let e = &table.entries[i];
+        (e.id, e.seed, e.len)
+    };
+    loop {
+        let t = Instant::now();
+        match client.get(id) {
+            Ok(payload) => {
+                tally.latency_us.record(t.elapsed().as_micros() as u64);
+                tally.ops += 1;
+                tally.gets += 1;
+                if payload != payload_for(seed, len) {
+                    tally.payload_mismatches += 1;
+                }
+                return;
+            }
+            Err(ClientError::Busy) => {
+                tally.busy_retries += 1;
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(ClientError::Unrecoverable { .. }) => {
+                tally.unrecoverable += 1;
+                return;
+            }
+            Err(_) => {
+                tally.errors += 1;
+                return;
+            }
+        }
+    }
+}
+
+fn do_delete(client: &mut Client, rng: &mut SmallRng, table: &mut ZipfTable, tally: &mut WorkerTally) {
+    let i = table.sample(rng);
+    let e = table.remove(i);
+    loop {
+        let t = Instant::now();
+        match client.delete(e.id) {
+            Ok(()) => {
+                tally.latency_us.record(t.elapsed().as_micros() as u64);
+                tally.ops += 1;
+                tally.deletes += 1;
+                return;
+            }
+            Err(ClientError::Busy) => {
+                tally.busy_retries += 1;
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => {
+                tally.errors += 1;
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payloads_are_deterministic_per_seed() {
+        assert_eq!(payload_for(42, 1000), payload_for(42, 1000));
+        assert_ne!(payload_for(42, 1000), payload_for(43, 1000));
+        assert_eq!(payload_for(7, 13).len(), 13);
+    }
+
+    #[test]
+    fn zipf_prefers_early_ranks() {
+        let mut t = ZipfTable::new(0.99);
+        for i in 0..50 {
+            t.push(ObjEntry { id: i, seed: i, len: 1 });
+        }
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut hits = [0u32; 50];
+        for _ in 0..20_000 {
+            hits[t.sample(&mut rng)] += 1;
+        }
+        assert!(hits[0] > hits[10], "rank 0 hotter than rank 10: {hits:?}");
+        assert!(hits[0] > hits[49] * 3, "strongly skewed head");
+        assert!(hits.iter().all(|&h| h > 0), "every rank still reachable");
+    }
+
+    #[test]
+    fn zipf_remove_keeps_sampling_valid() {
+        let mut t = ZipfTable::new(1.0);
+        for i in 0..10 {
+            t.push(ObjEntry { id: i, seed: i, len: 1 });
+        }
+        let removed = t.remove(3);
+        assert_eq!(removed.id, 3);
+        assert_eq!(t.len(), 9);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let i = t.sample(&mut rng);
+            assert!(i < 9);
+            assert_ne!(t.entries[i].id, 3);
+        }
+    }
+
+    #[test]
+    fn op_mix_default_is_read_heavy() {
+        let m = OpMix::default();
+        assert!(m.get > m.put + m.delete);
+    }
+}

@@ -1,0 +1,221 @@
+//! Observability for the serving layer.
+//!
+//! A [`ServerObserver`] is shared by the accept loop, every connection
+//! handler, and every engine worker. Counters and histograms are sharded
+//! relaxed atomics (`tornado-obs`), so the hot request path pays a few
+//! nanoseconds per emit; the JSON-lines event sink is disabled unless the
+//! operator asks for it. The METRICS admin op and the `serve` command's
+//! `--metrics` flag both serialize through [`ServerObserver::snapshot`],
+//! which also refreshes the embedded [`StoreObserver`]'s device-health
+//! gauges (offline devices, writes rejected while offline).
+
+use std::sync::Arc;
+use tornado_obs::{Counter, EventSink, Gauge, Histogram, Json, Snapshot};
+use tornado_store::{ArchivalStore, StoreObserver};
+
+/// Metrics and events for one server instance.
+pub struct ServerObserver {
+    /// Structured event sink (disabled by default).
+    pub events: EventSink,
+    /// Connections accepted, cumulative.
+    pub connections_opened: Counter,
+    /// Connections currently open.
+    pub connections_active: Gauge,
+    /// Requests admitted to the queue, by op class.
+    pub puts: Counter,
+    /// GET requests admitted.
+    pub gets: Counter,
+    /// DELETE requests admitted.
+    pub deletes: Counter,
+    /// STAT requests admitted.
+    pub stats_ops: Counter,
+    /// PING / admin requests admitted (fail, revive, metrics).
+    pub admin: Counter,
+    /// Requests rejected with BUSY (queue at depth — the backpressure
+    /// signal).
+    pub busy_rejected: Counter,
+    /// Requests whose deadline expired before a worker picked them up.
+    pub deadline_exceeded: Counter,
+    /// Requests answered NOT_FOUND.
+    pub not_found: Counter,
+    /// GETs answered UNRECOVERABLE.
+    pub unrecoverable: Counter,
+    /// Malformed frames / requests.
+    pub bad_requests: Counter,
+    /// Internal errors.
+    pub errors: Counter,
+    /// GETs that took the degraded path (decoder reconstructed at least
+    /// one block, or the plan was recomputed around corruption).
+    pub degraded_reads: Counter,
+    /// Blocks reconstructed by the decoder across all GETs.
+    pub blocks_recovered: Counter,
+    /// Object payload bytes received via PUT.
+    pub bytes_in: Counter,
+    /// Object payload bytes served via GET.
+    pub bytes_out: Counter,
+    /// Point-in-time queue depth (set as jobs are pushed and popped).
+    pub queue_depth: Gauge,
+    /// High-water queue depth.
+    pub queue_depth_peak: Gauge,
+    /// Microseconds jobs spent queued before a worker picked them up.
+    pub queue_wait_us: Histogram,
+    /// PUT service time, microseconds (excluding queue wait).
+    pub put_us: Histogram,
+    /// GET service time, microseconds (excluding queue wait).
+    pub get_us: Histogram,
+    /// Service time of everything else, microseconds.
+    pub other_us: Histogram,
+    /// Device-health gauges shared with the store layer.
+    pub store_obs: StoreObserver,
+}
+
+impl ServerObserver {
+    /// An observer with no event output (metrics still accumulate).
+    pub fn disabled() -> Self {
+        Self {
+            events: EventSink::disabled(),
+            connections_opened: Counter::new(),
+            connections_active: Gauge::new(),
+            puts: Counter::new(),
+            gets: Counter::new(),
+            deletes: Counter::new(),
+            stats_ops: Counter::new(),
+            admin: Counter::new(),
+            busy_rejected: Counter::new(),
+            deadline_exceeded: Counter::new(),
+            not_found: Counter::new(),
+            unrecoverable: Counter::new(),
+            bad_requests: Counter::new(),
+            errors: Counter::new(),
+            degraded_reads: Counter::new(),
+            blocks_recovered: Counter::new(),
+            bytes_in: Counter::new(),
+            bytes_out: Counter::new(),
+            queue_depth: Gauge::new(),
+            queue_depth_peak: Gauge::new(),
+            queue_wait_us: Histogram::new(),
+            put_us: Histogram::new(),
+            get_us: Histogram::new(),
+            other_us: Histogram::new(),
+            store_obs: StoreObserver::disabled(),
+        }
+    }
+
+    /// Replaces the event sink.
+    pub fn with_events(mut self, events: EventSink) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Shared, disabled observer (the common construction).
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::disabled())
+    }
+
+    /// Counts one admitted request by op class.
+    pub(crate) fn count_op(&self, kind: &str) {
+        match kind {
+            "put" => self.puts.inc(),
+            "get" => self.gets.inc(),
+            "delete" => self.deletes.inc(),
+            "stat" => self.stats_ops.inc(),
+            _ => self.admin.inc(),
+        }
+    }
+
+    /// Total requests admitted to the queue.
+    pub fn requests_total(&self) -> u64 {
+        self.puts.get()
+            + self.gets.get()
+            + self.deletes.get()
+            + self.stats_ops.get()
+            + self.admin.get()
+    }
+
+    /// Records the queue depth after a push/pop.
+    pub(crate) fn record_queue_depth(&self, depth: usize) {
+        self.queue_depth.set(depth as i64);
+        self.queue_depth_peak.raise(depth as i64);
+    }
+
+    /// Writes every server metric into `snap`.
+    pub fn fill_snapshot(&self, snap: &mut Snapshot) {
+        snap.counter("server.connections_opened", &self.connections_opened)
+            .counter_value("server.requests", self.requests_total())
+            .counter("server.put", &self.puts)
+            .counter("server.get", &self.gets)
+            .counter("server.delete", &self.deletes)
+            .counter("server.stat", &self.stats_ops)
+            .counter("server.admin", &self.admin)
+            .counter("server.busy_rejected", &self.busy_rejected)
+            .counter("server.deadline_exceeded", &self.deadline_exceeded)
+            .counter("server.not_found", &self.not_found)
+            .counter("server.unrecoverable", &self.unrecoverable)
+            .counter("server.bad_requests", &self.bad_requests)
+            .counter("server.errors", &self.errors)
+            .counter("server.get.degraded", &self.degraded_reads)
+            .counter("server.get.blocks_recovered", &self.blocks_recovered)
+            .counter("server.bytes_in", &self.bytes_in)
+            .counter("server.bytes_out", &self.bytes_out)
+            .gauge("server.connections_active", &self.connections_active)
+            .gauge("server.queue_depth", &self.queue_depth)
+            .gauge("server.queue_depth_peak", &self.queue_depth_peak);
+        for (name, h) in [
+            ("server.queue_wait_us", &self.queue_wait_us),
+            ("server.put_us", &self.put_us),
+            ("server.get_us", &self.get_us),
+            ("server.other_us", &self.other_us),
+        ] {
+            if h.count() > 0 {
+                snap.histogram(name, h);
+            }
+        }
+        self.store_obs.fill_snapshot(snap);
+    }
+
+    /// Builds a complete `tornado-metrics-v1` snapshot for the METRICS
+    /// admin op, refreshing the device-health gauges from `store` first.
+    pub fn snapshot(&self, store: &ArchivalStore, elapsed_ms: u64) -> Snapshot {
+        self.store_obs.record_device_health(store);
+        let mut snap = Snapshot::new("serve", elapsed_ms);
+        snap.set("devices", Json::U64(store.num_devices() as u64));
+        self.fill_snapshot(&mut snap);
+        snap
+    }
+}
+
+impl Default for ServerObserver {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_carries_request_counters_and_validates() {
+        let obs = ServerObserver::disabled();
+        obs.count_op("put");
+        obs.count_op("get");
+        obs.count_op("get");
+        obs.count_op("metrics");
+        obs.degraded_reads.inc();
+        obs.get_us.record(120);
+        obs.record_queue_depth(5);
+        obs.record_queue_depth(2);
+
+        let mut snap = Snapshot::new("serve", 10);
+        obs.fill_snapshot(&mut snap);
+        let doc = tornado_obs::json::parse(&snap.to_pretty()).unwrap();
+        tornado_obs::snapshot::validate(&doc).unwrap();
+        let counters = doc.get("counters").unwrap();
+        assert_eq!(counters.get("server.requests").unwrap().as_u64(), Some(4));
+        assert_eq!(counters.get("server.get").unwrap().as_u64(), Some(2));
+        assert_eq!(counters.get("server.get.degraded").unwrap().as_u64(), Some(1));
+        let gauges = doc.get("gauges").unwrap();
+        assert_eq!(gauges.get("server.queue_depth").unwrap().as_u64(), Some(2));
+        assert_eq!(gauges.get("server.queue_depth_peak").unwrap().as_u64(), Some(5));
+    }
+}

@@ -1,0 +1,676 @@
+//! Wire protocol: length-prefixed binary frames.
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! +----------------+---------------------+
+//! | len: u32 LE    | body: len bytes     |
+//! +----------------+---------------------+
+//! ```
+//!
+//! A request body is a fixed header followed by op-specific fields, all
+//! integers little-endian:
+//!
+//! ```text
+//! byte 0       opcode
+//! bytes 1..5   deadline_ms: u32 (0 = no deadline)
+//! bytes 5..    op fields
+//! ```
+//!
+//! | opcode | op            | fields                                   |
+//! |--------|---------------|------------------------------------------|
+//! | 1      | PUT           | name_len: u16, name, payload (rest)      |
+//! | 2      | GET           | id: u64                                  |
+//! | 3      | DELETE        | id: u64                                  |
+//! | 4      | STAT          | id: u64                                  |
+//! | 5      | PING          | —                                        |
+//! | 6      | FAIL_DEVICE   | device: u32                              |
+//! | 7      | REVIVE_DEVICE | device: u32                              |
+//! | 8      | METRICS       | —                                        |
+//! | 9      | SHUTDOWN      | —                                        |
+//!
+//! A response body starts with a status byte; successful statuses are
+//! op-shaped so responses decode without request context:
+//!
+//! | status | meaning            | fields                                |
+//! |--------|--------------------|---------------------------------------|
+//! | 0      | OK (empty)         | —                                     |
+//! | 1      | OK PUT             | id: u64                               |
+//! | 2      | OK GET             | payload (rest)                        |
+//! | 3      | OK STAT            | id u64, size u64, block_len u64, rotation u32, name_len u16, name |
+//! | 4      | OK METRICS         | JSON snapshot, UTF-8 (rest)           |
+//! | 16     | BUSY               | — (queue full: back off and retry)    |
+//! | 17     | NOT_FOUND          | id: u64                               |
+//! | 18     | UNRECOVERABLE      | id: u64, lost_blocks: u32             |
+//! | 19     | BAD_REQUEST        | message (rest, UTF-8)                 |
+//! | 20     | DEADLINE_EXCEEDED  | —                                     |
+//! | 21     | SHUTTING_DOWN      | —                                     |
+//! | 22     | SERVER_ERROR       | message (rest, UTF-8)                 |
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on one frame body; larger length prefixes are rejected before
+/// allocation (a corrupt or hostile peer cannot balloon memory).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// One decoded request: a deadline plus the operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Milliseconds the client allows for this request, measured from
+    /// server acceptance; 0 means no deadline.
+    pub deadline_ms: u32,
+    /// The operation.
+    pub op: Op,
+}
+
+/// Protocol operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Store an object.
+    Put {
+        /// User-visible object name.
+        name: String,
+        /// Object payload.
+        payload: Vec<u8>,
+    },
+    /// Retrieve an object (transparently degraded when devices are down).
+    Get {
+        /// Object id.
+        id: u64,
+    },
+    /// Delete an object.
+    Delete {
+        /// Object id.
+        id: u64,
+    },
+    /// Fetch object metadata.
+    Stat {
+        /// Object id.
+        id: u64,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Admin: fail a device (contents destroyed).
+    FailDevice {
+        /// Device index.
+        device: u32,
+    },
+    /// Admin: replace a failed device with an empty one.
+    ReviveDevice {
+        /// Device index.
+        device: u32,
+    },
+    /// Admin: snapshot the server metrics as JSON.
+    Metrics,
+    /// Admin: gracefully shut the server down (drains in-flight work).
+    Shutdown,
+}
+
+impl Op {
+    /// Short label for metrics/event dimensions.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Op::Put { .. } => "put",
+            Op::Get { .. } => "get",
+            Op::Delete { .. } => "delete",
+            Op::Stat { .. } => "stat",
+            Op::Ping => "ping",
+            Op::FailDevice { .. } => "fail_device",
+            Op::ReviveDevice { .. } => "revive_device",
+            Op::Metrics => "metrics",
+            Op::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Object metadata returned by STAT.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatMeta {
+    /// Object id.
+    pub id: u64,
+    /// Object name.
+    pub name: String,
+    /// Payload size in bytes.
+    pub size: u64,
+    /// Per-block size after framing/padding.
+    pub block_len: u64,
+    /// Device rotation offset.
+    pub rotation: u32,
+}
+
+/// One decoded response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Success with no payload (DELETE, PING, admin ops).
+    Ok,
+    /// Successful PUT.
+    PutOk {
+        /// Assigned object id.
+        id: u64,
+    },
+    /// Successful GET.
+    GetOk {
+        /// The object payload.
+        payload: Vec<u8>,
+    },
+    /// Successful STAT.
+    StatOk {
+        /// Object metadata.
+        meta: StatMeta,
+    },
+    /// Successful METRICS.
+    MetricsOk {
+        /// Pretty-printed `tornado-metrics-v1` JSON.
+        json: String,
+    },
+    /// The bounded request queue is full — explicit backpressure; the
+    /// client should back off and retry.
+    Busy,
+    /// No such object.
+    NotFound {
+        /// The requested id.
+        id: u64,
+    },
+    /// Too many blocks lost: the decoder cannot reconstruct the object.
+    Unrecoverable {
+        /// The requested id.
+        id: u64,
+        /// Number of data blocks lost for good.
+        lost_blocks: u32,
+    },
+    /// The request was malformed or referenced an invalid resource.
+    BadRequest {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// The per-request deadline expired before a worker picked it up.
+    DeadlineExceeded,
+    /// The server is draining for shutdown; no new work is accepted.
+    ShuttingDown,
+    /// Internal failure executing the request.
+    ServerError {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Short label for metrics/event dimensions.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Response::Ok
+            | Response::PutOk { .. }
+            | Response::GetOk { .. }
+            | Response::StatOk { .. }
+            | Response::MetricsOk { .. } => "ok",
+            Response::Busy => "busy",
+            Response::NotFound { .. } => "not_found",
+            Response::Unrecoverable { .. } => "unrecoverable",
+            Response::BadRequest { .. } => "bad_request",
+            Response::DeadlineExceeded => "deadline_exceeded",
+            Response::ShuttingDown => "shutting_down",
+            Response::ServerError { .. } => "server_error",
+        }
+    }
+}
+
+/// Decode-side failure: the frame arrived intact but its body is invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// --- body encoding helpers -------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Sequential little-endian reader over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| WireError(format!("truncated {what}")))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    fn string(&mut self, n: usize, what: &str) -> Result<String, WireError> {
+        String::from_utf8(self.take(n, what)?.to_vec())
+            .map_err(|_| WireError(format!("{what} is not UTF-8")))
+    }
+
+    fn finish(&self, what: &str) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError(format!(
+                "{} trailing bytes after {what}",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+impl Request {
+    /// Serializes the request body (no frame prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16);
+        let opcode: u8 = match &self.op {
+            Op::Put { .. } => 1,
+            Op::Get { .. } => 2,
+            Op::Delete { .. } => 3,
+            Op::Stat { .. } => 4,
+            Op::Ping => 5,
+            Op::FailDevice { .. } => 6,
+            Op::ReviveDevice { .. } => 7,
+            Op::Metrics => 8,
+            Op::Shutdown => 9,
+        };
+        buf.push(opcode);
+        put_u32(&mut buf, self.deadline_ms);
+        match &self.op {
+            Op::Put { name, payload } => {
+                put_u16(&mut buf, name.len() as u16);
+                buf.extend_from_slice(name.as_bytes());
+                buf.extend_from_slice(payload);
+            }
+            Op::Get { id } | Op::Delete { id } | Op::Stat { id } => put_u64(&mut buf, *id),
+            Op::FailDevice { device } | Op::ReviveDevice { device } => put_u32(&mut buf, *device),
+            Op::Ping | Op::Metrics | Op::Shutdown => {}
+        }
+        buf
+    }
+
+    /// Parses a request body.
+    pub fn decode(body: &[u8]) -> Result<Request, WireError> {
+        let mut c = Cursor::new(body);
+        let opcode = c.u8("opcode")?;
+        let deadline_ms = c.u32("deadline")?;
+        let op = match opcode {
+            1 => {
+                let name_len = c.u16("name length")? as usize;
+                if name_len > 4096 {
+                    return Err(WireError(format!("name length {name_len} exceeds 4096")));
+                }
+                let name = c.string(name_len, "name")?;
+                let payload = c.rest().to_vec();
+                Op::Put { name, payload }
+            }
+            2 => Op::Get { id: c.u64("id")? },
+            3 => Op::Delete { id: c.u64("id")? },
+            4 => Op::Stat { id: c.u64("id")? },
+            5 => Op::Ping,
+            6 => Op::FailDevice { device: c.u32("device")? },
+            7 => Op::ReviveDevice { device: c.u32("device")? },
+            8 => Op::Metrics,
+            9 => Op::Shutdown,
+            other => return Err(WireError(format!("unknown opcode {other}"))),
+        };
+        c.finish(op.kind())?;
+        Ok(Request { deadline_ms, op })
+    }
+}
+
+impl Response {
+    /// Serializes the response body (no frame prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16);
+        match self {
+            Response::Ok => buf.push(0),
+            Response::PutOk { id } => {
+                buf.push(1);
+                put_u64(&mut buf, *id);
+            }
+            Response::GetOk { payload } => {
+                buf.push(2);
+                buf.extend_from_slice(payload);
+            }
+            Response::StatOk { meta } => {
+                buf.push(3);
+                put_u64(&mut buf, meta.id);
+                put_u64(&mut buf, meta.size);
+                put_u64(&mut buf, meta.block_len);
+                put_u32(&mut buf, meta.rotation);
+                put_u16(&mut buf, meta.name.len() as u16);
+                buf.extend_from_slice(meta.name.as_bytes());
+            }
+            Response::MetricsOk { json } => {
+                buf.push(4);
+                buf.extend_from_slice(json.as_bytes());
+            }
+            Response::Busy => buf.push(16),
+            Response::NotFound { id } => {
+                buf.push(17);
+                put_u64(&mut buf, *id);
+            }
+            Response::Unrecoverable { id, lost_blocks } => {
+                buf.push(18);
+                put_u64(&mut buf, *id);
+                put_u32(&mut buf, *lost_blocks);
+            }
+            Response::BadRequest { message } => {
+                buf.push(19);
+                buf.extend_from_slice(message.as_bytes());
+            }
+            Response::DeadlineExceeded => buf.push(20),
+            Response::ShuttingDown => buf.push(21),
+            Response::ServerError { message } => {
+                buf.push(22);
+                buf.extend_from_slice(message.as_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Parses a response body.
+    pub fn decode(body: &[u8]) -> Result<Response, WireError> {
+        let mut c = Cursor::new(body);
+        let status = c.u8("status")?;
+        let resp = match status {
+            0 => Response::Ok,
+            1 => Response::PutOk { id: c.u64("id")? },
+            2 => Response::GetOk { payload: c.rest().to_vec() },
+            3 => {
+                let id = c.u64("id")?;
+                let size = c.u64("size")?;
+                let block_len = c.u64("block_len")?;
+                let rotation = c.u32("rotation")?;
+                let name_len = c.u16("name length")? as usize;
+                let name = c.string(name_len, "name")?;
+                Response::StatOk {
+                    meta: StatMeta { id, name, size, block_len, rotation },
+                }
+            }
+            4 => {
+                let rest = c.rest();
+                Response::MetricsOk {
+                    json: String::from_utf8(rest.to_vec())
+                        .map_err(|_| WireError("metrics JSON is not UTF-8".into()))?,
+                }
+            }
+            16 => Response::Busy,
+            17 => Response::NotFound { id: c.u64("id")? },
+            18 => Response::Unrecoverable {
+                id: c.u64("id")?,
+                lost_blocks: c.u32("lost_blocks")?,
+            },
+            19 => Response::BadRequest {
+                message: String::from_utf8_lossy(c.rest()).into_owned(),
+            },
+            20 => Response::DeadlineExceeded,
+            21 => Response::ShuttingDown,
+            22 => Response::ServerError {
+                message: String::from_utf8_lossy(c.rest()).into_owned(),
+            },
+            other => return Err(WireError(format!("unknown status {other}"))),
+        };
+        c.finish(resp.kind())?;
+        Ok(resp)
+    }
+}
+
+// --- frame I/O -------------------------------------------------------------
+
+/// Writes one frame: `u32` LE length prefix plus `body`.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    if body.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame body {} exceeds MAX_FRAME {MAX_FRAME}", body.len()),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Result of one polling frame read.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame body.
+    Frame(Vec<u8>),
+    /// The peer closed the connection cleanly (EOF at a frame boundary).
+    Eof,
+    /// The read timed out before the first byte of a frame arrived (only
+    /// possible when the stream has a read timeout configured).
+    TimedOut,
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Fills `buf` completely, retrying timeouts once at least one byte of the
+/// frame has been consumed (a started frame is always finished, preserving
+/// framing). `started` reports whether any byte had already been read.
+fn read_full(r: &mut impl Read, buf: &mut [u8], mut started: bool) -> io::Result<Option<bool>> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if started || filled > 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ));
+                }
+                return Ok(None); // clean EOF at frame boundary
+            }
+            Ok(n) => {
+                filled += n;
+                started = true;
+            }
+            Err(e) if is_timeout(&e) => {
+                if !started && filled == 0 {
+                    return Ok(Some(false)); // timed out before the frame began
+                }
+                // Mid-frame timeout: keep waiting for the rest.
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(true))
+}
+
+/// Reads one frame, honouring the stream's read timeout at frame
+/// boundaries only: a timeout before the first byte yields
+/// [`FrameRead::TimedOut`]; once a frame has started it is read to
+/// completion. Oversized length prefixes are rejected without allocating.
+pub fn read_frame(r: &mut impl Read) -> io::Result<FrameRead> {
+    let mut len_buf = [0u8; 4];
+    match read_full(r, &mut len_buf, false)? {
+        None => return Ok(FrameRead::Eof),
+        Some(false) => return Ok(FrameRead::TimedOut),
+        Some(true) => {}
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME {MAX_FRAME}"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    match read_full(r, &mut body, true)? {
+        Some(_) => Ok(FrameRead::Frame(body)),
+        None => unreachable!("read_full reports EOF mid-frame as an error"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let body = req.encode();
+        assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let body = resp.encode();
+        assert_eq!(Response::decode(&body).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request {
+            deadline_ms: 0,
+            op: Op::Put { name: "hello/世界".into(), payload: vec![0, 1, 2, 255] },
+        });
+        round_trip_request(Request {
+            deadline_ms: 250,
+            op: Op::Put { name: String::new(), payload: Vec::new() },
+        });
+        for op in [
+            Op::Get { id: u64::MAX },
+            Op::Delete { id: 7 },
+            Op::Stat { id: 0 },
+            Op::Ping,
+            Op::FailDevice { device: 95 },
+            Op::ReviveDevice { device: 0 },
+            Op::Metrics,
+            Op::Shutdown,
+        ] {
+            round_trip_request(Request { deadline_ms: 42, op });
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Ok,
+            Response::PutOk { id: 99 },
+            Response::GetOk { payload: vec![9; 1000] },
+            Response::GetOk { payload: Vec::new() },
+            Response::StatOk {
+                meta: StatMeta {
+                    id: 3,
+                    name: "obj".into(),
+                    size: 4096,
+                    block_len: 128,
+                    rotation: 17,
+                },
+            },
+            Response::MetricsOk { json: "{\"schema\": \"tornado-metrics-v1\"}".into() },
+            Response::Busy,
+            Response::NotFound { id: 12 },
+            Response::Unrecoverable { id: 12, lost_blocks: 3 },
+            Response::BadRequest { message: "no".into() },
+            Response::DeadlineExceeded,
+            Response::ShuttingDown,
+            Response::ServerError { message: "boom".into() },
+        ] {
+            round_trip_response(resp);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[200, 0, 0, 0, 0]).is_err(), "unknown opcode");
+        assert!(Request::decode(&[2, 0, 0, 0, 0, 1, 2]).is_err(), "truncated id");
+        // Trailing bytes after a fixed-size op are an error.
+        let mut body = Request { deadline_ms: 0, op: Op::Ping }.encode();
+        body.push(0);
+        assert!(Request::decode(&body).is_err());
+        assert!(Response::decode(&[99]).is_err(), "unknown status");
+    }
+
+    #[test]
+    fn put_name_length_is_bounded() {
+        let mut body = vec![1u8, 0, 0, 0, 0];
+        body.extend_from_slice(&8000u16.to_le_bytes());
+        body.extend_from_slice(&[b'x'; 8000]);
+        assert!(Request::decode(&body).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"alpha").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, &[7u8; 300]).unwrap();
+        let mut r = std::io::Cursor::new(wire);
+        match read_frame(&mut r).unwrap() {
+            FrameRead::Frame(b) => assert_eq!(b, b"alpha"),
+            other => panic!("{other:?}"),
+        }
+        match read_frame(&mut r).unwrap() {
+            FrameRead::Frame(b) => assert!(b.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        match read_frame(&mut r).unwrap() {
+            FrameRead::Frame(b) => assert_eq!(b.len(), 300),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(read_frame(&mut r).unwrap(), FrameRead::Eof));
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut r = std::io::Cursor::new(wire);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[1u8; 100]).unwrap();
+        wire.truncate(50);
+        let mut r = std::io::Cursor::new(wire);
+        assert!(read_frame(&mut r).is_err());
+    }
+}

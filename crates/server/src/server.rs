@@ -1,0 +1,218 @@
+//! The TCP archival block service.
+//!
+//! [`serve`] binds a listener and returns a [`ServerHandle`]; the accept
+//! loop, one handler thread per connection, and the engine's worker pool
+//! all run in the background. Every stage polls a shared shutdown flag at
+//! its natural boundary — the accept loop between accepts, handlers
+//! between frames, workers between jobs — so a SHUTDOWN op (or
+//! [`ServerHandle::shutdown`]) drains cleanly: in-flight requests finish,
+//! new frames are answered SHUTTING_DOWN, queued jobs execute, and
+//! [`ServerHandle::join`] returns only after every thread has exited.
+
+use crate::config::ServerConfig;
+use crate::engine::{Engine, Job};
+use crate::obs::ServerObserver;
+use crate::protocol::{read_frame, write_frame, FrameRead, Op, Request, Response};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+use tornado_obs::Json;
+use tornado_store::ArchivalStore;
+
+/// Control handle for a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the ephemeral port chosen).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts a graceful shutdown without waiting for it to finish.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the server has fully drained and every thread exited.
+    /// Call [`ServerHandle::shutdown`] first (or send the SHUTDOWN op).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `config.addr` and serves `store` until shut down.
+pub fn serve(
+    config: ServerConfig,
+    store: Arc<ArchivalStore>,
+    obs: Arc<ServerObserver>,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let engine = Engine::start(
+        Arc::clone(&store),
+        Arc::clone(&obs),
+        started,
+        config.workers,
+        config.queue_depth,
+    );
+    obs.events.emit(
+        "server.start",
+        &[
+            ("addr", Json::Str(addr.to_string())),
+            ("workers", Json::U64(config.workers as u64)),
+            ("queue_depth", Json::U64(config.queue_depth as u64)),
+        ],
+    );
+
+    let accept_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        let obs = Arc::clone(&obs);
+        thread::Builder::new()
+            .name("tornado-accept".into())
+            .spawn(move || {
+                accept_loop(&listener, &config, engine, &shutdown, &obs);
+            })?
+    };
+
+    Ok(ServerHandle { addr, shutdown, accept_thread: Some(accept_thread) })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    config: &ServerConfig,
+    engine: Engine,
+    shutdown: &Arc<AtomicBool>,
+    obs: &Arc<ServerObserver>,
+) {
+    let engine = Arc::new(engine);
+    let active = Arc::new(AtomicI64::new(0));
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let poll = Duration::from_millis(config.poll_interval_ms.max(1));
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                obs.connections_opened.inc();
+                obs.connections_active.set(active.fetch_add(1, Ordering::SeqCst) + 1);
+                let engine = Arc::clone(&engine);
+                let shutdown = Arc::clone(shutdown);
+                let obs = Arc::clone(obs);
+                let active = Arc::clone(&active);
+                let default_deadline_ms = config.default_deadline_ms;
+                let handler = thread::Builder::new()
+                    .name(format!("tornado-conn-{peer}"))
+                    .spawn(move || {
+                        handle_connection(stream, &engine, &shutdown, &obs, default_deadline_ms, poll);
+                        obs.connections_active.set(active.fetch_sub(1, Ordering::SeqCst) - 1);
+                    })
+                    .expect("spawn connection handler");
+                handlers.push(handler);
+                // Opportunistically reap finished handlers so a
+                // long-running server does not accumulate join handles.
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(poll),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => thread::sleep(poll),
+        }
+    }
+    // Drain: handlers finish their in-flight frames (they observe the
+    // flag at the next frame boundary), then the engine empties the queue.
+    for h in handlers {
+        let _ = h.join();
+    }
+    Arc::try_unwrap(engine)
+        .unwrap_or_else(|_| unreachable!("all handler clones joined"))
+        .shutdown();
+    obs.events.emit("server.stop", &[]);
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    engine: &Engine,
+    shutdown: &AtomicBool,
+    obs: &ServerObserver,
+    default_deadline_ms: u32,
+    poll: Duration,
+) {
+    if stream.set_read_timeout(Some(poll)).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    loop {
+        let body = match read_frame(&mut stream) {
+            Ok(FrameRead::Frame(body)) => body,
+            Ok(FrameRead::TimedOut) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Ok(FrameRead::Eof) | Err(_) => return,
+        };
+        let request = match Request::decode(&body) {
+            Ok(r) => r,
+            Err(e) => {
+                obs.bad_requests.inc();
+                let keep = reply(&mut stream, &Response::BadRequest { message: e.to_string() });
+                if keep {
+                    continue;
+                }
+                return;
+            }
+        };
+
+        if matches!(request.op, Op::Shutdown) {
+            shutdown.store(true, Ordering::SeqCst);
+            obs.admin.inc();
+            obs.events.emit("server.shutdown_requested", &[]);
+            let _ = reply(&mut stream, &Response::Ok);
+            return;
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            let _ = reply(&mut stream, &Response::ShuttingDown);
+            return;
+        }
+
+        let accepted_at = Instant::now();
+        let deadline_ms = if request.deadline_ms > 0 { request.deadline_ms } else { default_deadline_ms };
+        let deadline =
+            (deadline_ms > 0).then(|| accepted_at + Duration::from_millis(deadline_ms as u64));
+        let (tx, rx) = mpsc::channel();
+        let response = match engine.submit(Job { request, reply: tx, accepted_at, deadline }) {
+            Ok(()) => match rx.recv() {
+                Ok(r) => r,
+                // Worker pool tore down mid-request (shutdown race).
+                Err(_) => Response::ShuttingDown,
+            },
+            Err(rejection) => rejection,
+        };
+        if !reply(&mut stream, &response) {
+            return;
+        }
+    }
+}
+
+/// Writes one response frame; `false` means the connection is dead.
+fn reply(stream: &mut impl Write, response: &Response) -> bool {
+    write_frame(stream, &response.encode()).is_ok()
+}

@@ -1,0 +1,289 @@
+//! End-to-end tests over real TCP on localhost: protocol round trips,
+//! concurrent degraded reads while devices fail mid-run, backpressure,
+//! deadlines, and graceful shutdown.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+use tornado_core::tornado_graph_1;
+use tornado_server::{
+    load, serve, Client, ClientError, LoadConfig, Op, Response, ServerConfig, ServerObserver,
+};
+use tornado_store::ArchivalStore;
+
+fn start_server(workers: usize, queue_depth: usize) -> (tornado_server::ServerHandle, String) {
+    let store = Arc::new(ArchivalStore::new(tornado_graph_1()));
+    let cfg = ServerConfig {
+        workers,
+        queue_depth,
+        poll_interval_ms: 10,
+        ..ServerConfig::default()
+    };
+    let handle = serve(cfg, store, ServerObserver::shared()).expect("bind ephemeral port");
+    let addr = handle.local_addr().to_string();
+    (handle, addr)
+}
+
+#[test]
+fn object_lifecycle_over_tcp() {
+    let (handle, addr) = start_server(2, 16);
+    let mut client = Client::connect(&addr).unwrap();
+
+    client.ping().unwrap();
+    let payload: Vec<u8> = (0..20_000u32).map(|i| (i % 253) as u8).collect();
+    let id = client.put("archive/tape-01", &payload).unwrap();
+    assert_eq!(client.get(id).unwrap(), payload);
+
+    let meta = client.stat(id).unwrap();
+    assert_eq!(meta.id, id);
+    assert_eq!(meta.name, "archive/tape-01");
+    assert_eq!(meta.size, payload.len() as u64);
+    assert!(meta.block_len > 0);
+
+    client.delete(id).unwrap();
+    match client.get(id) {
+        Err(ClientError::NotFound(got)) => assert_eq!(got, id),
+        other => panic!("expected NotFound, got {other:?}"),
+    }
+
+    let json = client.metrics().unwrap();
+    let doc = tornado_obs::json::parse(&json).unwrap();
+    tornado_obs::snapshot::validate(&doc).unwrap();
+    let counters = doc.get("counters").unwrap();
+    assert!(counters.get("server.put").unwrap().as_u64().unwrap() >= 1);
+    assert!(counters.get("server.get").unwrap().as_u64().unwrap() >= 2);
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn concurrent_degraded_reads_while_devices_fail() {
+    let (handle, addr) = start_server(4, 64);
+
+    // Ingest objects with payloads regenerable from their seed.
+    let mut admin = Client::connect(&addr).unwrap();
+    let objects: Vec<(u64, u64, usize)> = (0..6u64)
+        .map(|i| {
+            let seed = 0xA5A5_0000 + i;
+            let len = 4_000 + (i as usize) * 1_777;
+            let payload = load::payload_for(seed, len);
+            let id = admin.put(&format!("obj-{i}"), &payload).unwrap();
+            (id, seed, len)
+        })
+        .collect();
+
+    // Readers hammer GET over their own connections while the admin
+    // connection fails four devices (the catalog graphs are certified to
+    // survive any four).
+    let objects = Arc::new(objects);
+    thread::scope(|s| {
+        let readers: Vec<_> = (0..4)
+            .map(|r| {
+                let addr = addr.clone();
+                let objects = Arc::clone(&objects);
+                s.spawn(move || {
+                    let mut client = Client::connect(&addr).unwrap();
+                    let mut reads = 0u64;
+                    for round in 0..40 {
+                        let (id, seed, len) = objects[(r + round) % objects.len()];
+                        let got = client.get(id).expect("read must survive 4 failures");
+                        assert_eq!(got, load::payload_for(seed, len), "byte-for-byte");
+                        reads += 1;
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                    reads
+                })
+            })
+            .collect();
+
+        thread::sleep(Duration::from_millis(15));
+        for device in [3, 17, 48, 95] {
+            admin.fail_device(device).unwrap();
+            thread::sleep(Duration::from_millis(10));
+        }
+
+        let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert_eq!(total, 160);
+    });
+
+    let json = admin.metrics().unwrap();
+    let doc = tornado_obs::json::parse(&json).unwrap();
+    let counters = doc.get("counters").unwrap();
+    assert!(
+        counters.get("server.get.degraded").unwrap().as_u64().unwrap() > 0,
+        "degraded reads must be visible in the snapshot"
+    );
+    assert_eq!(
+        doc.get("gauges").unwrap().get("device.offline").unwrap().as_u64(),
+        Some(4)
+    );
+
+    admin.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn expired_deadline_is_answered_not_executed() {
+    let (handle, addr) = start_server(1, 8);
+    let mut blocker = Client::connect(&addr).unwrap();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Saturate the single worker so the deadlined request waits in queue.
+    let big = vec![7u8; 2 << 20];
+    let blocker_thread = thread::spawn(move || {
+        blocker.put("big", &big).unwrap();
+        blocker
+    });
+    thread::sleep(Duration::from_millis(5));
+    client.set_deadline_ms(1);
+    match client.roundtrip(Op::Ping) {
+        Ok(Response::DeadlineExceeded) | Ok(Response::Ok) => {}
+        other => panic!("expected DeadlineExceeded or Ok, got {other:?}"),
+    }
+    let mut blocker = blocker_thread.join().unwrap();
+
+    // A generously-deadlined request still succeeds.
+    client.set_deadline_ms(10_000);
+    client.ping().unwrap();
+
+    blocker.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn shutdown_drains_and_rejects_new_work() {
+    let (handle, addr) = start_server(2, 16);
+    let mut a = Client::connect(&addr).unwrap();
+    let mut b = Client::connect(&addr).unwrap();
+
+    let id = a.put("x", &[1, 2, 3, 4]).unwrap();
+    a.shutdown().unwrap();
+
+    // The other connection is told to go away at its next request.
+    match b.get(id) {
+        Err(ClientError::ShuttingDown) | Err(ClientError::Io(_)) => {}
+        Ok(_) => panic!("post-shutdown request must not be served"),
+        Err(other) => panic!("unexpected error {other:?}"),
+    }
+    handle.join();
+
+    // The listener is gone after join.
+    assert!(Client::connect(&addr).is_err());
+}
+
+#[test]
+fn malformed_frames_get_bad_request() {
+    use std::io::Write;
+    let (handle, addr) = start_server(1, 4);
+
+    let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+    // opcode 200 does not exist.
+    let body = [200u8, 0, 0, 0, 0];
+    raw.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+    raw.write_all(&body).unwrap();
+    let mut resp = match tornado_server::protocol::read_frame(&mut raw).unwrap() {
+        tornado_server::protocol::FrameRead::Frame(b) => b,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(resp.remove(0), 19, "BAD_REQUEST status byte");
+    drop(raw);
+
+    let mut c = Client::connect(&addr).unwrap();
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn load_generator_end_to_end_with_failure_injection() {
+    let (handle, addr) = start_server(4, 64);
+
+    let cfg = LoadConfig {
+        addr: addr.clone(),
+        connections: 3,
+        duration_ms: 800,
+        seed: 42,
+        prefill: 4,
+        payload_min: 512,
+        payload_max: 8 << 10,
+        fail_devices: vec![5, 23, 60, 91],
+        fail_after_ms: 100,
+        fail_spacing_ms: 20,
+        ..LoadConfig::default()
+    };
+    let report = load::run_load(&cfg).expect("load run succeeds");
+
+    assert!(report.ops > 0, "closed loop made progress");
+    assert!(report.gets > 0 && report.puts > 0);
+    assert_eq!(report.payload_mismatches, 0, "every GET byte-for-byte");
+    assert_eq!(report.unrecoverable, 0, "4 failures are within tolerance");
+    assert_eq!(report.devices_failed, vec![5, 23, 60, 91]);
+    assert!(report.ops_per_sec > 0.0);
+    assert!(report.latency_us.count() >= report.ops);
+
+    // The run's snapshot validates and embeds the server's snapshot.
+    let snap = report.snapshot(cfg.seed);
+    let doc = tornado_obs::json::parse(&snap.to_pretty()).unwrap();
+    tornado_obs::snapshot::validate(&doc).unwrap();
+    tornado_obs::snapshot::validate(doc.get("server").unwrap()).unwrap();
+    assert!(
+        report.degraded_reads > 0,
+        "mid-run failures must surface degraded reads in server metrics"
+    );
+
+    let mut c = Client::connect(&addr).unwrap();
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn backpressure_answers_busy_not_buffering() {
+    // One worker, depth-1 queue, four barrier-aligned large PUTs: at most
+    // one executes and one queues, so at least one MUST bounce with BUSY.
+    // Busy callers back off and retry until everything lands.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+
+    let (handle, addr) = start_server(1, 1);
+    let barrier = Barrier::new(4);
+    let busy = AtomicU64::new(0);
+
+    thread::scope(|s| {
+        for t in 0..4u8 {
+            let addr = &addr;
+            let barrier = &barrier;
+            let busy = &busy;
+            s.spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let big = vec![t; 8 << 20];
+                barrier.wait();
+                loop {
+                    match c.put(&format!("grind-{t}"), &big) {
+                        Ok(_) => return,
+                        Err(ClientError::Busy) => {
+                            busy.fetch_add(1, Ordering::Relaxed);
+                            thread::sleep(Duration::from_micros(500));
+                        }
+                        Err(e) => panic!("{e:?}"),
+                    }
+                }
+            });
+        }
+    });
+    assert!(
+        busy.load(Ordering::Relaxed) >= 1,
+        "a saturated depth-1 queue must shed load as BUSY"
+    );
+
+    // The rejections are visible in the server's own metrics.
+    let mut c = Client::connect(&addr).unwrap();
+    let doc = tornado_obs::json::parse(&c.metrics().unwrap()).unwrap();
+    let rejected = doc
+        .get("counters")
+        .and_then(|cs| cs.get("server.busy_rejected"))
+        .and_then(tornado_obs::Json::as_u64)
+        .unwrap();
+    assert!(rejected >= 1);
+    c.shutdown().unwrap();
+    handle.join();
+}

@@ -21,6 +21,8 @@ pub struct DeviceStats {
     pub writes: u64,
     /// Reads rejected because the device was offline.
     pub failed_reads: u64,
+    /// Writes rejected because the device was offline.
+    pub failed_writes: u64,
 }
 
 #[derive(Debug, Default)]
@@ -75,11 +77,14 @@ impl Device {
         s.blocks.clear();
     }
 
-    /// Writes a block. Silently ignored when offline (a real controller
-    /// would error; the store never writes to failed devices anyway).
+    /// Writes a block. Rejected when offline (a real controller would
+    /// error); the rejection is counted in
+    /// [`DeviceStats::failed_writes`] so degraded-mode ingest is visible
+    /// to operators instead of vanishing silently.
     pub fn write_block(&self, key: BlockKey, data: Vec<u8>) -> bool {
         let mut s = self.state.write();
         if !s.online {
+            s.stats.failed_writes += 1;
             return false;
         }
         s.stats.writes += 1;
@@ -166,12 +171,17 @@ mod tests {
     }
 
     #[test]
-    fn offline_writes_are_rejected() {
+    fn offline_writes_are_rejected_and_counted() {
         let d = Device::new(0);
         d.fail();
         assert!(!d.write_block((1, 0), vec![1]));
+        assert!(!d.write_block((1, 1), vec![2]));
+        assert_eq!(d.stats().failed_writes, 2);
+        assert_eq!(d.stats().writes, 0);
         d.replace();
         assert!(d.write_block((1, 0), vec![1]));
+        assert_eq!(d.stats().failed_writes, 2, "successful write leaves the failure count");
+        assert_eq!(d.stats().writes, 1);
     }
 
     #[test]

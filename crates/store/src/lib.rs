@@ -47,5 +47,7 @@ pub use federation::FederatedStore;
 pub use obs::StoreObserver;
 pub use retrieval::{plan_retrieval, plan_retrieval_observed, RetrievalPlan};
 pub use scrubber::{ScrubOutcome, StripeHealth};
-pub use store::{ArchivalStore, ObjectId, ObjectMeta};
-pub use workload::{generate_events, replay, Event, ReplayReport, WorkloadConfig};
+pub use store::{ArchivalStore, GetStats, ObjectId, ObjectMeta};
+pub use workload::{
+    generate_events, replay, Event, EventOutcome, ReplayReport, WorkloadConfig,
+};

@@ -11,6 +11,7 @@
 use tornado_obs::{Counter, EventSink, Gauge, Histogram, Json, Snapshot, SpanTimer};
 
 use crate::scrubber::ScrubOutcome;
+use crate::store::ArchivalStore;
 
 /// Observability bundle for [`crate::scrubber::scrub_observed`] and
 /// [`crate::retrieval::plan_retrieval_observed`].
@@ -35,6 +36,11 @@ pub struct StoreObserver {
     pub retrieval_blocks_fetched: Counter,
     /// Retrieval planning wall time, microseconds.
     pub plan_us: Histogram,
+    /// Devices currently offline (point-in-time).
+    pub devices_offline: Gauge,
+    /// Writes rejected by offline devices across the pool (point-in-time
+    /// sum of [`crate::device::DeviceStats::failed_writes`]).
+    pub device_failed_writes: Gauge,
 }
 
 impl StoreObserver {
@@ -52,7 +58,20 @@ impl StoreObserver {
             retrieval_unplannable: Counter::new(),
             retrieval_blocks_fetched: Counter::new(),
             plan_us: Histogram::new(),
+            devices_offline: Gauge::new(),
+            device_failed_writes: Gauge::new(),
         }
+    }
+
+    /// Refreshes the device-pool gauges from the store: offline device
+    /// count and the pool-wide total of writes rejected while offline.
+    pub fn record_device_health(&self, store: &ArchivalStore) {
+        self.devices_offline.set(store.offline_devices().len() as i64);
+        let failed_writes: u64 = (0..store.num_devices())
+            .filter_map(|d| store.device(d).ok())
+            .map(|d| d.stats().failed_writes)
+            .sum();
+        self.device_failed_writes.set(failed_writes as i64);
     }
 
     /// Replaces the event sink.
@@ -93,7 +112,9 @@ impl StoreObserver {
             .counter("retrieval.unplannable", &self.retrieval_unplannable)
             .counter("retrieval.blocks_fetched", &self.retrieval_blocks_fetched)
             .gauge("scrub.degraded_stripes", &self.degraded)
-            .gauge("scrub.urgent_stripes", &self.urgent);
+            .gauge("scrub.urgent_stripes", &self.urgent)
+            .gauge("device.offline", &self.devices_offline)
+            .gauge("device.failed_writes", &self.device_failed_writes);
         if self.scrub_cycle_us.count() > 0 {
             snap.histogram("scrub.cycle_us", &self.scrub_cycle_us);
         }

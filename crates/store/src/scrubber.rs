@@ -92,6 +92,7 @@ pub fn scrub_observed(
     run_scrub(store, first_failure_level, repair, &mut outcome);
     let elapsed_us = span.stop();
     obs.record_scrub(&outcome, elapsed_us, repair);
+    obs.record_device_health(store);
     outcome
 }
 

@@ -32,6 +32,26 @@ pub struct ObjectMeta {
     pub checksums: Vec<u64>,
 }
 
+/// Retrieval-path statistics for one [`ArchivalStore::get_detailed`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GetStats {
+    /// Blocks fetched from devices (the guided-retrieval metric).
+    pub blocks_fetched: usize,
+    /// Blocks reconstructed by the decoder instead of read — non-zero
+    /// exactly when the read took the degraded path.
+    pub blocks_recovered: usize,
+    /// Times the plan had to be recomputed because a planned block turned
+    /// out corrupt or racily lost.
+    pub replans: usize,
+}
+
+impl GetStats {
+    /// Whether any block had to be reconstructed (a degraded read).
+    pub fn degraded(&self) -> bool {
+        self.blocks_recovered > 0 || self.replans > 0
+    }
+}
+
 /// FNV-1a over a block.
 pub(crate) fn block_checksum(data: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -165,21 +185,29 @@ impl ArchivalStore {
     /// Retrieves an object, reading as few devices as the guided retrieval
     /// planner allows and decoding through the pruned schedule.
     pub fn get(&self, id: ObjectId) -> Result<Vec<u8>, StoreError> {
-        let (payload, _) = self.get_with_stats(id)?;
+        let (payload, _) = self.get_detailed(id)?;
         Ok(payload)
     }
 
     /// Like [`ArchivalStore::get`], additionally reporting how many blocks
     /// were fetched (the guided-retrieval metric).
+    pub fn get_with_stats(&self, id: ObjectId) -> Result<(Vec<u8>, usize), StoreError> {
+        let (payload, stats) = self.get_detailed(id)?;
+        Ok((payload, stats.blocks_fetched))
+    }
+
+    /// Like [`ArchivalStore::get`], additionally reporting retrieval-path
+    /// statistics (the serving layer's degraded-read signal).
     ///
     /// Fetched blocks are checksum-verified; a corrupt (or racily lost)
     /// block is excluded and the retrieval re-planned, so silent corruption
     /// degrades into an ordinary erasure.
-    pub fn get_with_stats(&self, id: ObjectId) -> Result<(Vec<u8>, usize), StoreError> {
+    pub fn get_detailed(&self, id: ObjectId) -> Result<(Vec<u8>, GetStats), StoreError> {
         let meta = self.meta(id).ok_or(StoreError::UnknownObject { id })?;
         let mut excluded: Vec<NodeId> = Vec::new();
+        let mut replans = 0usize;
         let n = self.graph.num_nodes();
-        let (blocks, fetched) = 'plan: loop {
+        let (blocks, stats) = 'plan: loop {
             let available: Vec<NodeId> = self
                 .available_nodes(&meta)
                 .into_iter()
@@ -206,11 +234,17 @@ impl ArchivalStore {
                     None => {
                         // Corrupt or lost after planning: exclude, replan.
                         excluded.push(node);
+                        replans += 1;
                         continue 'plan;
                     }
                 }
             }
-            break (apply_schedule(&self.graph, blocks, &plan, meta.block_len), plan.fetch.len());
+            let stats = GetStats {
+                blocks_fetched: plan.fetch.len(),
+                blocks_recovered: plan.schedule.len(),
+                replans,
+            };
+            break (apply_schedule(&self.graph, blocks, &plan, meta.block_len), stats);
         };
 
         // Reassemble the framed payload from the data blocks.
@@ -221,7 +255,7 @@ impl ArchivalStore {
         }
         let len = u64::from_le_bytes(framed[..8].try_into().expect("length header")) as usize;
         debug_assert_eq!(len, meta.size);
-        Ok((framed[8..8 + len].to_vec(), fetched))
+        Ok((framed[8..8 + len].to_vec(), stats))
     }
 
     /// Deletes an object from all devices.

@@ -107,6 +107,19 @@ pub fn generate_events(cfg: &WorkloadConfig, devices: usize) -> Vec<Event> {
     events
 }
 
+/// How one replayed event went (index-aligned with the event list).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventOutcome {
+    /// The event completed normally.
+    Ok,
+    /// A retrieval found its object unrecoverable (a *degraded* outcome,
+    /// expected under heavy failure injection, not a replay defect).
+    Unrecoverable,
+    /// The store rejected the event (error text preserved); the replay
+    /// carried on with the next event.
+    Failed(String),
+}
+
 /// Outcome of replaying a workload.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ReplayReport {
@@ -114,6 +127,8 @@ pub struct ReplayReport {
     pub reads_ok: u64,
     /// Retrievals that failed (object unrecoverable at that moment).
     pub reads_failed: u64,
+    /// Non-read events (puts, admin) the store rejected mid-replay.
+    pub events_failed: u64,
     /// Total blocks fetched across successful reads.
     pub blocks_fetched: u64,
     /// Blocks fetched by a naive reader (whole healthy stripe) for the
@@ -125,6 +140,10 @@ pub struct ReplayReport {
     pub bytes_ingested: u64,
     /// Bytes served.
     pub bytes_served: u64,
+    /// Per-event outcomes, index-aligned with the replayed event list —
+    /// a mid-replay failure shows up here as a degraded entry instead of
+    /// aborting the run.
+    pub outcomes: Vec<EventOutcome>,
 }
 
 impl ReplayReport {
@@ -138,19 +157,29 @@ impl ReplayReport {
     }
 }
 
-/// Replays events against the store.
-pub fn replay(store: &ArchivalStore, events: &[Event]) -> Result<ReplayReport, StoreError> {
+/// Replays events against the store, never aborting mid-run: each event's
+/// result lands in [`ReplayReport::outcomes`], so a failure-heavy workload
+/// produces a degraded report instead of an early return.
+pub fn replay(store: &ArchivalStore, events: &[Event]) -> ReplayReport {
     let mut report = ReplayReport::default();
     let mut ingested: Vec<ObjectId> = Vec::new();
     let mut fill = 0u8;
     for event in events {
-        match *event {
+        let outcome = match *event {
             Event::Put { size } => {
                 fill = fill.wrapping_add(37);
                 let payload = vec![fill; size];
-                let id = store.put(&format!("obj-{}", ingested.len()), &payload)?;
-                ingested.push(id);
-                report.bytes_ingested += size as u64;
+                match store.put(&format!("obj-{}", ingested.len()), &payload) {
+                    Ok(id) => {
+                        ingested.push(id);
+                        report.bytes_ingested += size as u64;
+                        EventOutcome::Ok
+                    }
+                    Err(e) => EventOutcome::Failed(e.to_string()),
+                }
+            }
+            Event::Get { object } if ingested.is_empty() => {
+                EventOutcome::Failed(format!("get {object} before any successful put"))
             }
             Event::Get { object } => {
                 let id = ingested[object % ingested.len()];
@@ -168,22 +197,37 @@ pub fn replay(store: &ArchivalStore, events: &[Event]) -> Result<ReplayReport, S
                             .count();
                         report.blocks_naive += healthy as u64;
                         report.bytes_served += payload.len() as u64;
+                        EventOutcome::Ok
                     }
-                    Err(StoreError::Unrecoverable { .. }) => report.reads_failed += 1,
-                    Err(e) => return Err(e),
+                    Err(StoreError::Unrecoverable { .. }) => {
+                        report.reads_failed += 1;
+                        EventOutcome::Unrecoverable
+                    }
+                    Err(e) => {
+                        report.reads_failed += 1;
+                        EventOutcome::Failed(e.to_string())
+                    }
                 }
             }
-            Event::FailDevice { device } => {
-                store.fail_device(device)?;
-            }
-            Event::ReplaceAndScrub { device } => {
-                store.replace_device(device)?;
-                let outcome = crate::scrubber::scrub(store, 5, true);
-                report.blocks_repaired += outcome.blocks_repaired as u64;
-            }
+            Event::FailDevice { device } => match store.fail_device(device) {
+                Ok(()) => EventOutcome::Ok,
+                Err(e) => EventOutcome::Failed(e.to_string()),
+            },
+            Event::ReplaceAndScrub { device } => match store.replace_device(device) {
+                Ok(()) => {
+                    let outcome = crate::scrubber::scrub(store, 5, true);
+                    report.blocks_repaired += outcome.blocks_repaired as u64;
+                    EventOutcome::Ok
+                }
+                Err(e) => EventOutcome::Failed(e.to_string()),
+            },
+        };
+        if matches!(outcome, EventOutcome::Failed(_)) && !matches!(*event, Event::Get { .. }) {
+            report.events_failed += 1;
         }
+        report.outcomes.push(outcome);
     }
-    Ok(report)
+    report
 }
 
 /// Per-device activity histogram after a replay (balance check: rotation
@@ -237,9 +281,12 @@ mod tests {
             ..Default::default()
         };
         let events = generate_events(&cfg, store.num_devices());
-        let report = replay(&store, &events).unwrap();
+        let report = replay(&store, &events);
         assert_eq!(report.reads_ok, 40);
         assert_eq!(report.reads_failed, 0);
+        assert_eq!(report.events_failed, 0);
+        assert_eq!(report.outcomes.len(), events.len());
+        assert!(report.outcomes.iter().all(|o| *o == EventOutcome::Ok));
         assert!(report.bytes_served > 0);
         assert!(report.activation_savings() > 0.3, "savings {}", report.activation_savings());
     }
@@ -254,7 +301,7 @@ mod tests {
             seed: 13,
             ..Default::default()
         };
-        replay(&store, &generate_events(&cfg, store.num_devices())).unwrap();
+        replay(&store, &generate_events(&cfg, store.num_devices()));
         let loads = device_load(&store);
         let active = loads.iter().filter(|s| s.reads > 0).count();
         assert!(
@@ -277,7 +324,44 @@ mod tests {
             ..Default::default()
         };
         let events = generate_events(&cfg, store.num_devices());
-        let report = replay(&store, &events).unwrap();
+        let report = replay(&store, &events);
         assert_eq!(report.reads_ok + report.reads_failed, 20);
+    }
+
+    #[test]
+    fn replay_continues_past_store_errors() {
+        let store = small_store();
+        let devices = store.num_devices();
+        // A hand-built stream with events the store must reject: an
+        // out-of-range device failure and an out-of-range replacement.
+        let events = vec![
+            Event::Put { size: 512 },
+            Event::FailDevice { device: devices + 7 },
+            Event::Get { object: 0 },
+            Event::ReplaceAndScrub { device: devices + 7 },
+            Event::Get { object: 0 },
+        ];
+        let report = replay(&store, &events);
+        assert_eq!(report.outcomes.len(), events.len());
+        assert_eq!(report.reads_ok, 2, "reads after a failed event still run");
+        assert_eq!(report.events_failed, 2);
+        assert!(matches!(report.outcomes[1], EventOutcome::Failed(_)));
+        assert!(matches!(report.outcomes[3], EventOutcome::Failed(_)));
+        assert_eq!(report.outcomes[4], EventOutcome::Ok);
+    }
+
+    #[test]
+    fn replay_records_unrecoverable_reads_as_degraded_outcomes() {
+        let store = small_store();
+        // Fail every device: reads become unrecoverable, replay completes.
+        let mut events = vec![Event::Put { size: 256 }];
+        for device in 0..store.num_devices() {
+            events.push(Event::FailDevice { device });
+        }
+        events.push(Event::Get { object: 0 });
+        let report = replay(&store, &events);
+        assert_eq!(report.reads_failed, 1);
+        assert_eq!(report.events_failed, 0);
+        assert_eq!(*report.outcomes.last().unwrap(), EventOutcome::Unrecoverable);
     }
 }

@@ -35,7 +35,7 @@ fn main() {
         cfg.failures
     );
 
-    let report = replay(&store, &events).expect("replay");
+    let report = replay(&store, &events);
     println!("reads served: {}/{}", report.reads_ok, report.reads_ok + report.reads_failed);
     println!(
         "bytes: {} ingested, {} served",

@@ -54,5 +54,6 @@ pub use tornado_graph as graph;
 pub use tornado_numerics as numerics;
 pub use tornado_obs as obs;
 pub use tornado_raid as raid;
+pub use tornado_server as server;
 pub use tornado_sim as sim;
 pub use tornado_store as store;
