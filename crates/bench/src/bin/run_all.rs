@@ -102,6 +102,10 @@ fn main() {
                 ("latency_p99_us".into(), Json::U64(s.p99_us)),
                 ("degraded_reads".into(), Json::U64(s.degraded_reads)),
                 ("payload_mismatches".into(), Json::U64(s.payload_mismatches)),
+                ("ops_per_sec_untraced".into(), Json::F64(s.ops_per_sec_untraced)),
+                ("ops_per_sec_traced_1_in_256".into(), Json::F64(s.ops_per_sec_traced)),
+                ("tracing_overhead_frac".into(), Json::F64(s.tracing_overhead_frac)),
+                ("traced_spans_recorded".into(), Json::U64(s.traced_spans_recorded)),
             ]),
         ));
     }

@@ -13,7 +13,8 @@
 use crate::effort::Effort;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
-use tornado_server::{run_load, serve, Client, LoadConfig, ServerConfig, ServerObserver};
+use tornado_obs::Tracer;
+use tornado_server::{run_load, serve, Client, LoadConfig, LoadReport, ServerConfig, ServerObserver};
 use tornado_store::ArchivalStore;
 
 /// Headline numbers of the last [`run`], for the `run_all` manifest.
@@ -29,6 +30,15 @@ pub struct LoadSummary {
     pub degraded_reads: u64,
     /// GETs whose payload failed byte-for-byte verification (must be 0).
     pub payload_mismatches: u64,
+    /// A/B arm A: ops/s with tracing fully off (untraced wire format).
+    pub ops_per_sec_untraced: f64,
+    /// A/B arm B: ops/s with 1-in-256 sampling and trace ids on the wire.
+    pub ops_per_sec_traced: f64,
+    /// Fractional throughput cost of arm B vs arm A (negative = noise in
+    /// B's favour).
+    pub tracing_overhead_frac: f64,
+    /// Spans the server recorded during arm B.
+    pub traced_spans_recorded: u64,
 }
 
 /// Last run's summary (populated by [`run`], read by `run_all`).
@@ -38,12 +48,10 @@ pub static LAST_SUMMARY: Mutex<Option<LoadSummary>> = Mutex::new(None);
 /// catalog graph 1 (survives ANY four losses), so correctness must hold.
 pub const FAIL_DEVICES: [u32; 4] = [7, 29, 55, 88];
 
-/// Runs the load test.
-pub fn run(effort: &Effort) -> String {
-    // Scale the measured window with effort, but keep the smoke setting
-    // fast enough for CI.
-    let duration_ms = (effort.mc_trials / 16).clamp(800, 5_000);
-
+/// Boots a fresh in-process server (optionally with a tracer), drives it
+/// with `cfg`, shuts it down, and returns the report plus the server's
+/// `trace.spans_recorded` counter.
+fn run_arm(cfg: &LoadConfig, tracer: Option<Tracer>) -> (LoadReport, u64) {
     let store = Arc::new(ArchivalStore::new(tornado_core::tornado_graph_1()));
     let server_cfg = ServerConfig {
         addr: "127.0.0.1:0".into(),
@@ -51,11 +59,35 @@ pub fn run(effort: &Effort) -> String {
         queue_depth: 64,
         ..ServerConfig::default()
     };
-    let handle = serve(server_cfg, store, ServerObserver::shared()).expect("bind loopback");
+    let mut obs = ServerObserver::disabled();
+    if let Some(t) = tracer {
+        obs = obs.with_tracer(t);
+    }
+    let handle = serve(server_cfg, store, Arc::new(obs)).expect("bind loopback");
     let addr = handle.local_addr().to_string();
+    let report = run_load(&LoadConfig { addr: addr.clone(), ..cfg.clone() })
+        .expect("load run against in-process server");
+    let mut admin = Client::connect(&addr).expect("admin connection");
+    admin.shutdown().expect("graceful shutdown");
+    handle.join();
+    let spans = tornado_obs::json::parse(&report.server_metrics_json)
+        .ok()
+        .and_then(|doc| {
+            doc.get("counters")
+                .and_then(|c| c.get("trace.spans_recorded"))
+                .and_then(tornado_obs::Json::as_u64)
+        })
+        .unwrap_or(0);
+    (report, spans)
+}
+
+/// Runs the load test.
+pub fn run(effort: &Effort) -> String {
+    // Scale the measured window with effort, but keep the smoke setting
+    // fast enough for CI.
+    let duration_ms = (effort.mc_trials / 16).clamp(800, 5_000);
 
     let cfg = LoadConfig {
-        addr: addr.clone(),
         connections: 4,
         duration_ms,
         seed: effort.seed,
@@ -67,11 +99,28 @@ pub fn run(effort: &Effort) -> String {
         fail_spacing_ms: 25,
         ..LoadConfig::default()
     };
-    let report = run_load(&cfg).expect("load run against in-process server");
+    let (report, _) = run_arm(&cfg, None);
 
-    let mut admin = Client::connect(&addr).expect("admin connection");
-    admin.shutdown().expect("graceful shutdown");
-    handle.join();
+    // Tracing-overhead A/B: same seed and mix, no failure injection (so
+    // both arms serve identical healthy-path work), fresh server per arm.
+    // Arm A stamps no trace ids (pre-trace wire bytes, tracer off); arm B
+    // samples 1 in 256 with ids on every request.
+    let ab_cfg = LoadConfig {
+        duration_ms: (duration_ms / 2).clamp(500, 2_500),
+        fail_devices: Vec::new(),
+        trace_sample: 0,
+        ..cfg.clone()
+    };
+    let (untraced, _) = run_arm(&ab_cfg, None);
+    let (traced, traced_spans) = run_arm(
+        &LoadConfig { trace_sample: 256, ..ab_cfg.clone() },
+        Some(Tracer::new(256, 4096, 16)),
+    );
+    let overhead_frac = if untraced.ops_per_sec > 0.0 {
+        (untraced.ops_per_sec - traced.ops_per_sec) / untraced.ops_per_sec
+    } else {
+        0.0
+    };
 
     *LAST_SUMMARY.lock().unwrap() = Some(LoadSummary {
         ops: report.ops,
@@ -79,6 +128,10 @@ pub fn run(effort: &Effort) -> String {
         p99_us: report.p99_us(),
         degraded_reads: report.degraded_reads,
         payload_mismatches: report.payload_mismatches,
+        ops_per_sec_untraced: untraced.ops_per_sec,
+        ops_per_sec_traced: traced.ops_per_sec,
+        tracing_overhead_frac: overhead_frac,
+        traced_spans_recorded: traced_spans,
     });
 
     let mut out = String::new();
@@ -110,10 +163,30 @@ pub fn run(effort: &Effort) -> String {
     let _ = writeln!(out, "degraded_reads_served, {}", report.degraded_reads);
     let _ = writeln!(out, "unrecoverable_reads, {}", report.unrecoverable);
     let _ = writeln!(out, "payload_mismatches, {}", report.payload_mismatches);
+    for e in &report.slowest {
+        let _ = writeln!(
+            out,
+            "slow_trace_exemplar, {} us {} trace {:#018x}",
+            e.latency_us, e.op, e.trace_id
+        );
+    }
+    let _ = writeln!(out, "ops_per_sec_untraced, {:.0}", untraced.ops_per_sec);
+    let _ = writeln!(out, "ops_per_sec_traced_1_in_256, {:.0}", traced.ops_per_sec);
+    let _ = writeln!(out, "tracing_overhead_pct, {:.2}", overhead_frac * 100.0);
+    let _ = writeln!(out, "traced_spans_recorded, {traced_spans}");
     assert_eq!(
         report.payload_mismatches, 0,
         "reads through {} failures must stay byte-perfect",
         FAIL_DEVICES.len()
+    );
+    assert!(untraced.ops > 0 && traced.ops > 0, "both A/B arms made progress");
+    // Loose sanity bound only: the recorded numbers are the deliverable;
+    // short windows (especially debug builds) are too noisy for a tight
+    // threshold, but a halving of throughput would be a real regression.
+    assert!(
+        overhead_frac < 0.5,
+        "1-in-256 tracing cost {:.1}% ops/s — far beyond its overhead budget",
+        overhead_frac * 100.0
     );
     out
 }

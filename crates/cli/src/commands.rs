@@ -518,6 +518,11 @@ pub fn serve(args: &ParsedArgs) -> CmdResult {
     let workers: usize = args.get_parsed("workers", 4)?;
     let queue_depth: usize = args.get_parsed("queue-depth", 64)?;
     let default_deadline_ms: u32 = args.get_parsed("deadline-ms", 0)?;
+    let trace_sample: u64 = args.get_parsed("trace-sample", 0)?;
+    let trace_capacity: usize = args.get_parsed("trace-capacity", 4096)?;
+    let trace_slow_keep: usize = args.get_parsed("trace-slow-keep", 16)?;
+    let slow_ms: u64 = args.get_parsed("slow-ms", 0)?;
+    let timeseries_interval_ms: u64 = args.get_parsed("timeseries-ms", 500)?;
     let (graph, label) = if args.get("graph").is_some() || args.get("catalog").is_some() {
         load_target_graph(args)?
     } else {
@@ -525,14 +530,25 @@ pub fn serve(args: &ParsedArgs) -> CmdResult {
     };
 
     let store = std::sync::Arc::new(tornado_store::ArchivalStore::new(graph));
-    let server_obs = std::sync::Arc::new(
-        tornado_server::ServerObserver::disabled().with_events(obs.events()),
-    );
+    let mut server_obs = tornado_server::ServerObserver::disabled().with_events(obs.events());
+    if trace_sample > 0 {
+        server_obs = server_obs.with_tracer(tornado_obs::Tracer::new(
+            trace_sample,
+            trace_capacity,
+            trace_slow_keep,
+        ));
+    }
+    let server_obs = std::sync::Arc::new(server_obs);
     let config = tornado_server::ServerConfig {
         addr,
         workers,
         queue_depth,
         default_deadline_ms,
+        trace_sample,
+        trace_capacity,
+        trace_slow_keep,
+        slow_request_us: slow_ms.saturating_mul(1_000),
+        timeseries_interval_ms,
         ..tornado_server::ServerConfig::default()
     };
     let handle = tornado_server::serve(config, std::sync::Arc::clone(&store), std::sync::Arc::clone(&server_obs))
@@ -560,6 +576,21 @@ pub fn serve(args: &ParsedArgs) -> CmdResult {
     // Serve until a SHUTDOWN op drains the server.
     let started = std::time::Instant::now();
     handle.join();
+    // After the drain every in-flight root span is recorded, so the
+    // export written here is complete and well-nested by construction.
+    if let Some(path) = args.get("trace-file") {
+        let spans = server_obs.tracer.spans();
+        let json = tornado_obs::trace::to_chrome_trace(&spans).to_pretty();
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        obs.status(
+            "trace_written",
+            &[
+                ("path", Json::Str(path.into())),
+                ("spans", Json::U64(spans.len() as u64)),
+                ("dropped", Json::U64(server_obs.tracer.dropped())),
+            ],
+        );
+    }
     obs.write_metrics("serve", |snap| {
         snap.set("graph", Json::Str(label.clone()));
         snap.set("addr", Json::Str(bound.to_string()));
@@ -597,6 +628,8 @@ pub fn load(args: &ParsedArgs) -> CmdResult {
         fail_after_ms: args.get_parsed("fail-after-ms", 300)?,
         fail_spacing_ms: args.get_parsed("fail-spacing-ms", 50)?,
         deadline_ms: args.get_parsed("deadline-ms", 0)?,
+        trace_sample: args.get_parsed("trace-sample", 256)?,
+        op_limit: args.get_parsed("op-limit", 0)?,
     };
 
     let report = tornado_server::run_load(&cfg).map_err(|e| format!("load: {e}"))?;
@@ -615,6 +648,16 @@ pub fn load(args: &ParsedArgs) -> CmdResult {
         report.latency_us.mean(),
         report.latency_us.max().unwrap_or(0)
     );
+    if !report.slowest.is_empty() {
+        println!(
+            "slowest sampled traces ({} ids kept at 1-in-{}; look them up in the server's trace export):",
+            report.sampled_trace_ids.len(),
+            cfg.trace_sample
+        );
+        for e in &report.slowest {
+            println!("  {:>8} us  {:<6}  trace {:#018x}", e.latency_us, e.op, e.trace_id);
+        }
+    }
     println!(
         "backpressure: {} busy retries; errors: {}; unrecoverable: {}",
         report.busy_retries, report.errors, report.unrecoverable
@@ -645,5 +688,91 @@ pub fn load(args: &ParsedArgs) -> CmdResult {
     if report.payload_mismatches > 0 {
         return Err(format!("{} payload mismatches", report.payload_mismatches));
     }
+    Ok(())
+}
+
+/// `tornado watch` — live windowed rates from a running server's
+/// time-series ring (polls the METRICS admin op).
+pub fn watch(args: &ParsedArgs) -> CmdResult {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7401").to_string();
+    let interval_ms: u64 = args.get_parsed("interval-ms", 1_000)?;
+    let count: u64 = args.get_parsed("count", 0)?; // 0 = until interrupted
+    let mut client =
+        tornado_server::Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+
+    println!("{:>10} {:>9} {:>9} {:>9} {:>9} {:>11} {:>12}",
+        "req/s", "put/s", "get/s", "busy/s", "degr/s", "MB out/s", "window req/s");
+    let mut tick = 0u64;
+    loop {
+        tick += 1;
+        let doc = tornado_obs::json::parse(&client.metrics().map_err(|e| format!("metrics: {e}"))?)
+            .map_err(|e| format!("metrics: {e}"))?;
+        let points = doc
+            .get("timeseries")
+            .and_then(tornado_obs::timeseries::points_from_json)
+            .unwrap_or_default();
+        if points.len() < 2 {
+            println!("(waiting for the server's sampler: {} point(s) so far)", points.len());
+        } else {
+            // Rebuild the ring client-side so the same windowed-rate code
+            // serves the live view and the server.
+            let series = tornado_obs::TimeSeries::new(points.len().max(2));
+            for p in points {
+                series.push(p);
+            }
+            let rate = |k: &str| series.latest_rate(k).unwrap_or(0.0);
+            println!(
+                "{:>10.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>11.2} {:>12.1}",
+                rate("server.requests"),
+                rate("server.put"),
+                rate("server.get"),
+                rate("server.busy_rejected"),
+                rate("server.get.degraded"),
+                rate("server.bytes_out") / (1024.0 * 1024.0),
+                series.window_rate("server.requests").unwrap_or(0.0),
+            );
+        }
+        if count > 0 && tick >= count {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(1)));
+    }
+}
+
+/// `tornado trace` — export a running server's retained spans as Chrome
+/// trace-event JSON (open the file in Perfetto / chrome://tracing).
+pub fn trace(args: &ParsedArgs) -> CmdResult {
+    let obs = CliObs::from_args(args);
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7401").to_string();
+    let mut client =
+        tornado_server::Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let json = client.trace_export().map_err(|e| format!("trace export: {e}"))?;
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+            obs.status("trace_written", &[("path", Json::Str(path.into()))]);
+            Ok(())
+        }
+        None => {
+            println!("{json}");
+            Ok(())
+        }
+    }
+}
+
+/// `tornado validate-trace` — check a trace export is structurally valid
+/// Chrome trace-event JSON with well-nested spans; `--require NAME`
+/// (repeatable) additionally demands that span names be present.
+pub fn validate_trace(args: &ParsedArgs) -> CmdResult {
+    let path = args.require("file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = tornado_obs::json::parse(&text).map_err(|e| format!("{path}: parse error: {e}"))?;
+    let require = args.get_all("require");
+    let stats = tornado_obs::trace::validate_chrome_trace(&doc, &require)
+        .map_err(|e| format!("{path}: invalid trace: {e}"))?;
+    println!(
+        "valid Chrome trace: {} events across {} traces ({} roots)",
+        stats.events, stats.traces, stats.roots
+    );
     Ok(())
 }

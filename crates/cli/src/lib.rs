@@ -45,6 +45,9 @@ COMMANDS:
                                                      [--queue-depth 64] [--deadline-ms 0]
                                                      [--catalog 1|2|3 | --graph FILE]
                                                      [--port-file FILE]
+                                                     [--trace-sample N] [--trace-file FILE]
+                                                     [--trace-capacity 4096] [--trace-slow-keep 16]
+                                                     [--slow-ms N] [--timeseries-ms 500]
     load         Closed-loop load generator          --addr ADDR [--connections 4]
                                                      [--duration-ms 2000] [--seed N]
                                                      [--put 20 --get 75 --delete 5]
@@ -52,6 +55,11 @@ COMMANDS:
                                                      [--zipf 0.99] [--prefill 8]
                                                      [--fail DEV]... [--fail-after-ms 300]
                                                      [--metrics FILE] [--shutdown]
+                                                     [--trace-sample 256] [--op-limit N]
+    watch        Live windowed rates from a server    --addr ADDR [--interval-ms 1000]
+                                                     [--count N]
+    trace        Export server spans (Chrome JSON)    --addr ADDR [--out FILE]
+    validate-trace  Validate a trace export           --file FILE [--require SPAN]...
 
 OBSERVABILITY (worst-case, monte-carlo, scrub, and their aliases):
     --progress        Throttled progress lines (rate + ETA) on stderr
@@ -85,6 +93,9 @@ pub fn run_command(command: &str, parsed: &ParsedArgs) -> Result<(), String> {
         "workload" => commands::workload(parsed),
         "serve" => commands::serve(parsed),
         "load" => commands::load(parsed),
+        "watch" => commands::watch(parsed),
+        "trace" => commands::trace(parsed),
+        "validate-trace" => commands::validate_trace(parsed),
         other => Err(format!("unknown command '{other}'")),
     }
 }

@@ -259,6 +259,98 @@ fn scrub_reports_health_and_writes_metrics() {
 }
 
 #[test]
+fn serve_load_watch_trace_end_to_end() {
+    let port_file = temp_path("e2e.port");
+    let trace_file = temp_path("e2e-server.trace.json");
+    let pf = port_file.to_str().unwrap().to_string();
+    let tf = trace_file.to_str().unwrap().to_string();
+    let _ = std::fs::remove_file(&port_file);
+
+    // `serve` blocks until SHUTDOWN, so it runs on its own thread;
+    // --port-file publishes the kernel-chosen port for the rest of the test.
+    let serve_args = args(&[
+        "--addr", "127.0.0.1:0", "--workers", "2", "--port-file", &pf, "--trace-sample", "1",
+        "--trace-file", &tf, "--timeseries-ms", "20", "--quiet",
+    ]);
+    let server = std::thread::spawn(move || run_command("serve", &serve_args));
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let addr = loop {
+        if let Ok(s) = std::fs::read_to_string(&port_file) {
+            break s.trim().to_string();
+        }
+        assert!(std::time::Instant::now() < deadline, "serve never published its port");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+
+    // A deterministic degraded GET: ingest, fail four devices, re-read.
+    let mut client = tornado_server::Client::connect(&addr).expect("connect");
+    let payload = tornado_server::load::payload_for(0xE2E, 20_000);
+    let id = client.put("e2e-object", &payload).expect("put");
+    for device in [3, 17, 48, 95] {
+        client.fail_device(device).expect("fail device");
+    }
+    assert_eq!(client.get(id).expect("degraded get"), payload);
+
+    // Seeded load with trace propagation, bounded by op count.
+    run_command(
+        "load",
+        &args(&[
+            "--addr", &addr, "--connections", "2", "--duration-ms", "30000", "--op-limit", "30",
+            "--seed", "11", "--prefill", "3", "--payload-min", "512", "--payload-max", "4096",
+            "--trace-sample", "4", "--quiet",
+        ]),
+    )
+    .expect("load");
+
+    // Live rate view over the server's time-series ring.
+    run_command("watch", &args(&["--addr", &addr, "--interval-ms", "30", "--count", "2"]))
+        .expect("watch");
+
+    // Client-side export while the server is still running.
+    let live_trace = temp_path("e2e-live.trace.json");
+    let live_s = live_trace.to_str().unwrap();
+    run_command("trace", &args(&["--addr", &addr, "--out", live_s])).expect("trace");
+    run_command(
+        "validate-trace",
+        &args(&[
+            "--file", live_s, "--require", "request", "--require", "store.get", "--require",
+            "decode.recover",
+        ]),
+    )
+    .expect("live export holds a well-nested degraded-GET span tree");
+
+    client.shutdown().expect("shutdown");
+    server.join().unwrap().expect("serve exits cleanly");
+
+    // The shutdown-time export must validate too, and METRICS consumers
+    // aside, the file is what Perfetto loads.
+    run_command(
+        "validate-trace",
+        &args(&["--file", &tf, "--require", "request", "--require", "decode.recover"]),
+    )
+    .expect("shutdown trace file validates");
+}
+
+#[test]
+fn validate_trace_rejects_garbage() {
+    let bad = temp_path("bad-trace.json");
+    let bad_s = bad.to_str().unwrap();
+    std::fs::write(&bad, "not json").unwrap();
+    assert!(run_command("validate-trace", &args(&["--file", bad_s])).is_err());
+    std::fs::write(&bad, r#"{"traceEvents": [{"ph": "B", "name": "x"}]}"#).unwrap();
+    let err = run_command("validate-trace", &args(&["--file", bad_s])).unwrap_err();
+    assert!(err.contains("invalid trace"), "{err}");
+    std::fs::write(&bad, r#"{"traceEvents": []}"#).unwrap();
+    let err = run_command(
+        "validate-trace",
+        &args(&["--file", bad_s, "--require", "decode.recover"]),
+    )
+    .unwrap_err();
+    assert!(err.contains("decode.recover"), "missing required span is named: {err}");
+}
+
+#[test]
 fn catalog_and_graph_flags_are_interchangeable() {
     // --catalog on worst-case must match dumping the graph and reading it back.
     run_command("worst-case", &args(&["--catalog", "1", "--max-k", "1", "--quiet"]))

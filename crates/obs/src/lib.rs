@@ -19,7 +19,11 @@
 //!   driven by a mockable [`Clock`];
 //! * [`EventSink`] — a JSON-lines (or human-readable) event stream;
 //! * [`Snapshot`] — a point-in-time metrics dump through the hand-rolled
-//!   [`json`] serializer, with a [`snapshot::validate`] checker for CI.
+//!   [`json`] serializer, with a [`snapshot::validate`] checker for CI;
+//! * [`Tracer`] — request-scoped span collection with deterministic
+//!   1-in-N sampling and a Chrome trace-event exporter;
+//! * [`TimeSeries`] — a bounded ring of periodic counter samples for
+//!   windowed rates.
 //!
 //! Everything is built on `std` alone — no external crates — so the
 //! workspace keeps building offline.
@@ -36,6 +40,8 @@ pub mod progress;
 pub mod recorder;
 pub mod snapshot;
 pub mod span;
+pub mod timeseries;
+pub mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use counter::{Counter, FloatGauge, Gauge};
@@ -46,3 +52,5 @@ pub use progress::{Progress, ProgressConfig, ProgressTarget};
 pub use recorder::Recorder;
 pub use snapshot::Snapshot;
 pub use span::SpanTimer;
+pub use timeseries::{SeriesPoint, TimeSeries};
+pub use trace::{SpanRecord, Tracer};

@@ -77,8 +77,16 @@ impl Snapshot {
             .enumerate()
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| {
+                let upper = crate::histogram::bucket_upper_bound(i);
                 Json::Obj(vec![
-                    ("le".into(), Json::U64(crate::histogram::bucket_upper_bound(i))),
+                    // "le" predates the explicit bound keys; kept so older
+                    // tornado-metrics-v1 consumers still find it.
+                    ("le".into(), Json::U64(upper)),
+                    ("bucket_upper_bound".into(), Json::U64(upper)),
+                    (
+                        "bucket_lower_bound".into(),
+                        Json::U64(crate::histogram::bucket_lower_bound(i)),
+                    ),
                     ("count".into(), Json::U64(c)),
                 ])
             })
@@ -144,6 +152,68 @@ pub fn validate(doc: &Json) -> Result<(), String> {
     if doc.get("elapsed_ms").and_then(Json::as_u64).is_none() {
         return Err("'elapsed_ms' is not an unsigned integer".into());
     }
+    if let Some(hists) = doc.get("histograms") {
+        let Json::Obj(hists) = hists else {
+            return Err("'histograms' is not an object".into());
+        };
+        for (name, h) in hists {
+            validate_histogram(name, h)?;
+        }
+    }
+    Ok(())
+}
+
+/// Structural check for one serialized histogram: a `count`, and buckets
+/// (when present) each carrying a count plus a bound that is a genuine
+/// log2 bucket edge, strictly increasing, with counts summing to `count`.
+/// Buckets written before `bucket_upper_bound` existed (only `le`) still
+/// pass — the keys are synonyms.
+fn validate_histogram(name: &str, h: &Json) -> Result<(), String> {
+    let total = h
+        .get("count")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("histogram '{name}': missing u64 'count'"))?;
+    let Some(buckets) = h.get("buckets") else {
+        return Ok(());
+    };
+    let buckets = buckets
+        .as_arr()
+        .ok_or_else(|| format!("histogram '{name}': 'buckets' is not an array"))?;
+    let mut prev: Option<u64> = None;
+    let mut sum = 0u64;
+    for (i, b) in buckets.iter().enumerate() {
+        let upper = b
+            .get("bucket_upper_bound")
+            .or_else(|| b.get("le"))
+            .and_then(Json::as_u64)
+            .ok_or_else(|| {
+                format!("histogram '{name}' bucket {i}: missing 'bucket_upper_bound'/'le'")
+            })?;
+        // Valid log2 edges are 0, 2^k - 1, or u64::MAX.
+        if !(upper == 0 || upper == u64::MAX || (upper.wrapping_add(1)).is_power_of_two()) {
+            return Err(format!(
+                "histogram '{name}' bucket {i}: bound {upper} is not a log2 bucket edge"
+            ));
+        }
+        if let Some(p) = prev {
+            if upper <= p {
+                return Err(format!(
+                    "histogram '{name}' bucket {i}: bounds not strictly increasing"
+                ));
+            }
+        }
+        prev = Some(upper);
+        sum = sum.saturating_add(
+            b.get("count")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("histogram '{name}' bucket {i}: missing u64 'count'"))?,
+        );
+    }
+    if !buckets.is_empty() && sum != total {
+        return Err(format!(
+            "histogram '{name}': bucket counts sum to {sum}, expected {total}"
+        ));
+    }
     Ok(())
 }
 
@@ -197,6 +267,78 @@ mod tests {
         assert!(validate(&parse(r#"{"schema": "other", "command": "x", "elapsed_ms": 1, "counters": {}}"#).unwrap()).is_err());
         assert!(validate(&parse(r#"{"schema": "tornado-metrics-v1", "command": "x", "elapsed_ms": 1, "counters": 5}"#).unwrap()).is_err());
         validate(&parse(r#"{"schema": "tornado-metrics-v1", "command": "x", "elapsed_ms": 1, "counters": {}}"#).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn buckets_carry_explicit_log2_bounds() {
+        let hist = Histogram::new();
+        for v in [0u64, 1, 5, 5, 1_000] {
+            hist.record(v);
+        }
+        let mut snap = Snapshot::new("x", 1);
+        snap.histogram("lat_us", &hist);
+        let doc = parse(&snap.to_pretty()).unwrap();
+        validate(&doc).expect("new-format snapshot validates");
+        let buckets = doc
+            .get("histograms")
+            .unwrap()
+            .get("lat_us")
+            .unwrap()
+            .get("buckets")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        for b in buckets {
+            let le = b.get("le").unwrap().as_u64().unwrap();
+            let upper = b.get("bucket_upper_bound").unwrap().as_u64().unwrap();
+            let lower = b.get("bucket_lower_bound").unwrap().as_u64().unwrap();
+            assert_eq!(le, upper, "'le' and explicit bound are synonyms");
+            assert!(lower <= upper);
+        }
+        // 5 recorded twice lands in bucket [4,7]: lower 4, upper 7.
+        assert!(buckets.iter().any(|b| {
+            b.get("bucket_lower_bound").unwrap().as_u64() == Some(4)
+                && b.get("bucket_upper_bound").unwrap().as_u64() == Some(7)
+                && b.get("count").unwrap().as_u64() == Some(2)
+        }));
+    }
+
+    #[test]
+    fn validate_accepts_legacy_le_only_buckets() {
+        // A pre-bucket_upper_bound snapshot: buckets keyed by 'le' alone.
+        let doc = parse(
+            r#"{"schema": "tornado-metrics-v1", "command": "x", "elapsed_ms": 1,
+                "counters": {},
+                "histograms": {"h": {"count": 3, "sum": 9,
+                    "buckets": [{"le": 1, "count": 1}, {"le": 7, "count": 2}]}}}"#,
+        )
+        .unwrap();
+        validate(&doc).expect("legacy snapshots must keep validating");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_histograms() {
+        let base = |hist: &str| {
+            parse(&format!(
+                r#"{{"schema": "tornado-metrics-v1", "command": "x", "elapsed_ms": 1,
+                     "counters": {{}}, "histograms": {{"h": {hist}}}}}"#
+            ))
+            .unwrap()
+        };
+        // Bound that is not a log2 edge.
+        let doc = base(r#"{"count": 1, "buckets": [{"bucket_upper_bound": 6, "count": 1}]}"#);
+        assert!(validate(&doc).unwrap_err().contains("log2"));
+        // Non-increasing bounds.
+        let doc = base(
+            r#"{"count": 2, "buckets": [{"le": 7, "count": 1}, {"le": 3, "count": 1}]}"#,
+        );
+        assert!(validate(&doc).unwrap_err().contains("increasing"));
+        // Bucket counts disagree with the total.
+        let doc = base(r#"{"count": 5, "buckets": [{"le": 1, "count": 1}]}"#);
+        assert!(validate(&doc).unwrap_err().contains("sum"));
+        // Missing count entirely.
+        let doc = base(r#"{"sum": 1}"#);
+        assert!(validate(&doc).unwrap_err().contains("count"));
     }
 
     #[test]

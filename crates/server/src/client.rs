@@ -16,6 +16,9 @@ pub struct Client {
     stream: TcpStream,
     /// Deadline stamped on every request (milliseconds; 0 = none).
     deadline_ms: u32,
+    /// Trace id stamped on every request (`None` = untraced header,
+    /// byte-identical to the pre-trace wire format).
+    trace_id: Option<u64>,
 }
 
 impl Client {
@@ -23,14 +26,14 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream, deadline_ms: 0 })
+        Ok(Self { stream, deadline_ms: 0, trace_id: None })
     }
 
     /// Connects with a bounded connection attempt.
     pub fn connect_timeout(addr: &std::net::SocketAddr, timeout: Duration) -> Result<Self, ClientError> {
         let stream = TcpStream::connect_timeout(addr, timeout)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream, deadline_ms: 0 })
+        Ok(Self { stream, deadline_ms: 0, trace_id: None })
     }
 
     /// Sets the per-request deadline stamped on subsequent requests
@@ -39,9 +42,16 @@ impl Client {
         self.deadline_ms = deadline_ms;
     }
 
+    /// Sets the trace id stamped on subsequent requests (`None` clears
+    /// it). Retries of the same logical operation should keep the same
+    /// id so their spans land in one trace.
+    pub fn set_trace_id(&mut self, trace_id: Option<u64>) {
+        self.trace_id = trace_id;
+    }
+
     /// Sends one request and reads its response frame.
     pub fn roundtrip(&mut self, op: Op) -> Result<Response, ClientError> {
-        let req = Request { deadline_ms: self.deadline_ms, op };
+        let req = Request { deadline_ms: self.deadline_ms, trace_id: self.trace_id, op };
         write_frame(&mut self.stream, &req.encode())?;
         match read_frame(&mut self.stream)? {
             FrameRead::Frame(body) => Ok(Response::decode(&body)?),
@@ -118,6 +128,15 @@ impl Client {
         match self.roundtrip(Op::Metrics)? {
             Response::MetricsOk { json } => Ok(json),
             other => Err(error_from(other, "METRICS")),
+        }
+    }
+
+    /// Admin: exports the server's retained trace spans as Chrome
+    /// trace-event JSON (loadable in Perfetto).
+    pub fn trace_export(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(Op::TraceExport)? {
+            Response::TraceOk { json } => Ok(json),
+            other => Err(error_from(other, "TRACE_EXPORT")),
         }
     }
 

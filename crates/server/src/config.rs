@@ -18,6 +18,23 @@ pub struct ServerConfig {
     /// idle connection checks the shutdown flag. Also bounds how long
     /// shutdown waits on idle connections.
     pub poll_interval_ms: u64,
+    /// Trace sampling rate: record spans for 1 in N traces (keyed
+    /// deterministically on the trace id). 0 disables tracing, 1 samples
+    /// every request.
+    pub trace_sample: u64,
+    /// Maximum spans retained in the trace ring buffer (oldest dropped
+    /// past this; the slowest root spans survive separately).
+    pub trace_capacity: usize,
+    /// How many of the slowest root spans to keep regardless of ring
+    /// eviction.
+    pub trace_slow_keep: usize,
+    /// Emit a `server.slow_request` event (with the full span tree when
+    /// the request was sampled) for any request slower than this many
+    /// microseconds; 0 disables.
+    pub slow_request_us: u64,
+    /// Interval between time-series counter samples in milliseconds;
+    /// 0 disables the sampler thread.
+    pub timeseries_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -28,6 +45,11 @@ impl Default for ServerConfig {
             queue_depth: 64,
             default_deadline_ms: 0,
             poll_interval_ms: 50,
+            trace_sample: 0,
+            trace_capacity: 4096,
+            trace_slow_keep: 16,
+            slow_request_us: 0,
+            timeseries_interval_ms: 500,
         }
     }
 }
@@ -43,5 +65,8 @@ mod tests {
         assert!(c.queue_depth >= 1);
         assert!(c.poll_interval_ms >= 1);
         assert_eq!(c.default_deadline_ms, 0);
+        assert_eq!(c.trace_sample, 0, "tracing is opt-in");
+        assert!(c.trace_capacity >= 1);
+        assert!(c.timeseries_interval_ms >= 1);
     }
 }

@@ -15,8 +15,24 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
+use tornado_obs::trace::{to_chrome_trace, SpanRecord, Tracer};
 use tornado_obs::Json;
 use tornado_store::{ArchivalStore, StoreError};
+
+/// Trace context for one sampled request, created by the connection
+/// handler and carried through the queue so worker-side spans attach to
+/// the same tree.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct JobTrace {
+    /// The request's trace id.
+    pub trace_id: u64,
+    /// Span id reserved for the root `request` span (recorded by the
+    /// handler after the reply; children reference it immediately).
+    pub root_span: u64,
+    /// Tracer-timebase instant the job was submitted (start of the
+    /// queue-wait window).
+    pub accepted_us: u64,
+}
 
 /// One queued request plus everything needed to answer it.
 pub(crate) struct Job {
@@ -28,6 +44,8 @@ pub(crate) struct Job {
     pub accepted_at: Instant,
     /// Absolute deadline, if the request (or server default) set one.
     pub deadline: Option<Instant>,
+    /// Trace context when this request is sampled.
+    pub trace: Option<JobTrace>,
 }
 
 /// The worker pool and its bounded queue.
@@ -105,11 +123,63 @@ fn worker_loop(
         let wait_us = picked_up.duration_since(job.accepted_at).as_micros() as u64;
         obs.queue_wait_us.record(wait_us);
 
-        let response = if job.deadline.is_some_and(|d| picked_up > d) {
+        let tracer = &obs.tracer;
+        if let Some(tr) = &job.trace {
+            let picked_up_us = tracer.now_us();
+            tracer.record(SpanRecord {
+                trace_id: tr.trace_id,
+                span_id: tracer.next_span_id(),
+                parent_id: Some(tr.root_span),
+                name: "queue.wait",
+                start_us: tr.accepted_us,
+                dur_us: picked_up_us.saturating_sub(tr.accepted_us),
+                fields: vec![("queue_depth", Json::U64(queue.len() as u64))],
+            });
+        }
+
+        let expired = job.deadline.is_some_and(|d| picked_up > d);
+        if let Some(tr) = &job.trace {
+            let check_start = tracer.now_us();
+            tracer.record(SpanRecord {
+                trace_id: tr.trace_id,
+                span_id: tracer.next_span_id(),
+                parent_id: Some(tr.root_span),
+                name: "deadline.check",
+                start_us: check_start,
+                dur_us: tracer.now_us().saturating_sub(check_start),
+                fields: vec![("expired", Json::Bool(expired))],
+            });
+        }
+        let response = if expired {
             obs.deadline_exceeded.inc();
             Response::DeadlineExceeded
         } else {
-            execute(&job.request.op, store, obs, started)
+            let exec_ctx = job.trace.as_ref().map(|tr| {
+                let span_id = tracer.next_span_id();
+                ExecTrace {
+                    tracer,
+                    trace_id: tr.trace_id,
+                    span_id,
+                    start_us: tracer.now_us(),
+                }
+            });
+            let response = execute(&job.request.op, store, obs, started, exec_ctx.as_ref());
+            if let Some(ctx) = exec_ctx {
+                let end_us = ctx.tracer.now_us();
+                ctx.tracer.record(SpanRecord {
+                    trace_id: ctx.trace_id,
+                    span_id: ctx.span_id,
+                    parent_id: Some(job.trace.as_ref().unwrap().root_span),
+                    name: "execute",
+                    start_us: ctx.start_us,
+                    dur_us: end_us.saturating_sub(ctx.start_us),
+                    fields: vec![
+                        ("op", Json::Str(job.request.op.kind().into())),
+                        ("status", Json::Str(response.kind().into())),
+                    ],
+                });
+            }
+            response
         };
 
         let service_us = picked_up.elapsed().as_micros() as u64;
@@ -136,28 +206,99 @@ fn worker_loop(
     }
 }
 
+/// Trace context for spans recorded inside [`execute`]: store-call child
+/// spans hang off `span_id` (the `execute` span, recorded by the caller).
+pub(crate) struct ExecTrace<'a> {
+    tracer: &'a Tracer,
+    trace_id: u64,
+    span_id: u64,
+    start_us: u64,
+}
+
+impl ExecTrace<'_> {
+    /// Records a child span of the `execute` span over `[start_us, now]`,
+    /// clamped into the execute window.
+    fn child(
+        &self,
+        name: &'static str,
+        start_us: u64,
+        dur_us: u64,
+        fields: Vec<(&'static str, Json)>,
+    ) -> u64 {
+        let span_id = self.tracer.next_span_id();
+        let end = self.tracer.now_us().max(start_us);
+        self.tracer.record(
+            SpanRecord {
+                trace_id: self.trace_id,
+                span_id,
+                parent_id: Some(self.span_id),
+                name,
+                start_us,
+                dur_us,
+                fields,
+            }
+            .clamped_into(self.start_us, end),
+        );
+        span_id
+    }
+}
+
 /// Runs one operation against the store and maps the result onto the wire.
-fn execute(op: &Op, store: &ArchivalStore, obs: &ServerObserver, started: Instant) -> Response {
+fn execute(
+    op: &Op,
+    store: &ArchivalStore,
+    obs: &ServerObserver,
+    started: Instant,
+    trace: Option<&ExecTrace<'_>>,
+) -> Response {
     match op {
         Op::Ping => Response::Ok,
-        Op::Put { name, payload } => match store.put(name, payload) {
-            Ok(id) => {
-                obs.bytes_in.add(payload.len() as u64);
-                Response::PutOk { id }
+        Op::Put { name, payload } => {
+            let start_us = trace.map(|t| t.tracer.now_us()).unwrap_or_default();
+            let result = store.put(name, payload);
+            if let Some(t) = trace {
+                t.child(
+                    "store.put",
+                    start_us,
+                    t.tracer.now_us().saturating_sub(start_us),
+                    vec![("bytes", Json::U64(payload.len() as u64))],
+                );
             }
-            Err(e) => error_response(e, obs),
-        },
-        Op::Get { id } => match store.get_detailed(*id) {
-            Ok((payload, stats)) => {
-                if stats.degraded() {
-                    obs.degraded_reads.inc();
-                    obs.blocks_recovered.add(stats.blocks_recovered as u64);
+            match result {
+                Ok(id) => {
+                    obs.bytes_in.add(payload.len() as u64);
+                    Response::PutOk { id }
                 }
-                obs.bytes_out.add(payload.len() as u64);
-                Response::GetOk { payload }
+                Err(e) => error_response(e, obs),
             }
-            Err(e) => error_response(e, obs),
-        },
+        }
+        Op::Get { id } => {
+            let start_us = trace.map(|t| t.tracer.now_us()).unwrap_or_default();
+            let result = store.get_detailed(*id);
+            if let Some(t) = trace {
+                let end_us = t.tracer.now_us();
+                let get_span = t.child(
+                    "store.get",
+                    start_us,
+                    end_us.saturating_sub(start_us),
+                    vec![("id", Json::U64(*id))],
+                );
+                if let Ok((_, stats)) = &result {
+                    record_get_phases(t, get_span, start_us, end_us, stats);
+                }
+            }
+            match result {
+                Ok((payload, stats)) => {
+                    if stats.degraded() {
+                        obs.degraded_reads.inc();
+                        obs.blocks_recovered.add(stats.blocks_recovered as u64);
+                    }
+                    obs.bytes_out.add(payload.len() as u64);
+                    Response::GetOk { payload }
+                }
+                Err(e) => error_response(e, obs),
+            }
+        }
         Op::Delete { id } => match store.delete(*id) {
             Ok(()) => Response::Ok,
             Err(e) => error_response(e, obs),
@@ -197,9 +338,62 @@ fn execute(op: &Op, store: &ArchivalStore, obs: &ServerObserver, started: Instan
             let elapsed_ms = started.elapsed().as_millis() as u64;
             Response::MetricsOk { json: obs.snapshot(store, elapsed_ms).to_pretty() }
         }
+        Op::TraceExport => Response::TraceOk {
+            json: to_chrome_trace(&obs.tracer.spans()).to_pretty(),
+        },
         // The connection layer intercepts SHUTDOWN before queueing; answer
         // OK if one slips through (e.g. submitted via the engine directly).
         Op::Shutdown => Response::Ok,
+    }
+}
+
+/// Fabricates the sequential plan → fetch → decode child spans of a
+/// `store.get` from the phase durations the store measured. Spans are laid
+/// out back-to-back from the store-call start and clamped into the call
+/// window, so they always nest. `decode.recover` is only recorded when the
+/// decoder actually reconstructed blocks — its presence IS the
+/// degraded-read signal in a trace.
+fn record_get_phases(
+    t: &ExecTrace<'_>,
+    get_span: u64,
+    start_us: u64,
+    end_us: u64,
+    stats: &tornado_store::GetStats,
+) {
+    let mut cursor = start_us;
+    let mut phase = |name: &'static str, dur_us: u64, fields: Vec<(&'static str, Json)>| {
+        let rec = SpanRecord {
+            trace_id: t.trace_id,
+            span_id: t.tracer.next_span_id(),
+            parent_id: Some(get_span),
+            name,
+            start_us: cursor,
+            dur_us,
+            fields,
+        }
+        .clamped_into(start_us, end_us);
+        cursor = rec.end_us();
+        t.tracer.record(rec);
+    };
+    phase(
+        "retrieval.plan",
+        stats.plan_us,
+        vec![("replans", Json::U64(stats.replans as u64))],
+    );
+    phase(
+        "store.fetch",
+        stats.fetch_us,
+        vec![("blocks_fetched", Json::U64(stats.blocks_fetched as u64))],
+    );
+    if stats.blocks_recovered > 0 {
+        phase(
+            "decode.recover",
+            stats.decode_us,
+            vec![
+                ("blocks_recovered", Json::U64(stats.blocks_recovered as u64)),
+                ("replans", Json::U64(stats.replans as u64)),
+            ],
+        );
     }
 }
 
@@ -230,6 +424,7 @@ fn error_response(e: StoreError, obs: &ServerObserver) -> Response {
 mod tests {
     use super::*;
     use tornado_core::tornado_graph_1;
+    use tornado_obs::trace::validate_chrome_trace;
 
     fn engine_over(store: Arc<ArchivalStore>, workers: usize, depth: usize) -> Engine {
         Engine::start(store, ServerObserver::shared(), Instant::now(), workers, depth)
@@ -239,10 +434,11 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         engine
             .submit(Job {
-                request: Request { deadline_ms: 0, op },
+                request: Request { deadline_ms: 0, trace_id: None, op },
                 reply: tx,
                 accepted_at: Instant::now(),
                 deadline: None,
+                trace: None,
             })
             .expect("queue has room");
         rx.recv().expect("worker replies")
@@ -284,11 +480,13 @@ mod tests {
             .submit(Job {
                 request: Request {
                     deadline_ms: 1,
+                    trace_id: None,
                     op: Op::Put { name: "late".into(), payload: vec![1; 64] },
                 },
                 reply: tx,
                 accepted_at: Instant::now() - std::time::Duration::from_millis(50),
                 deadline: Some(Instant::now() - std::time::Duration::from_millis(10)),
+                trace: None,
             })
             .unwrap();
         assert_eq!(rx.recv().unwrap(), Response::DeadlineExceeded);
@@ -326,6 +524,91 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn sampled_degraded_get_produces_a_nested_span_tree_with_decode_recover() {
+        let store = Arc::new(ArchivalStore::new(tornado_graph_1()));
+        let obs = Arc::new(ServerObserver::disabled().with_tracer(Tracer::new(1, 1024, 4)));
+        let engine = Engine::start(Arc::clone(&store), Arc::clone(&obs), Instant::now(), 1, 8);
+
+        let payload: Vec<u8> = (0..9000u32).map(|i| (i * 13 % 256) as u8).collect();
+        let id = store.put("traced", &payload).unwrap();
+        for device in [2, 17, 48, 95] {
+            store.fail_device(device).unwrap();
+        }
+
+        // Submit a traced GET exactly as the connection handler would:
+        // reserve the root span id up front, record the root after reply.
+        let trace_id = 0xABCDu64;
+        let root_span = obs.tracer.next_span_id();
+        let accepted_us = obs.tracer.now_us();
+        let (tx, rx) = mpsc::channel();
+        engine
+            .submit(Job {
+                request: Request {
+                    deadline_ms: 0,
+                    trace_id: Some(trace_id),
+                    op: Op::Get { id },
+                },
+                reply: tx,
+                accepted_at: Instant::now(),
+                deadline: None,
+                trace: Some(JobTrace { trace_id, root_span, accepted_us }),
+            })
+            .unwrap();
+        match rx.recv().unwrap() {
+            Response::GetOk { payload: got } => assert_eq!(got, payload),
+            other => panic!("{other:?}"),
+        }
+        obs.tracer.record(SpanRecord {
+            trace_id,
+            span_id: root_span,
+            parent_id: None,
+            name: "request",
+            start_us: accepted_us,
+            dur_us: obs.tracer.now_us().saturating_sub(accepted_us),
+            fields: vec![("op", Json::Str("get".into()))],
+        });
+
+        let names: Vec<&str> = obs.tracer.spans_for(trace_id).iter().map(|s| s.name).collect();
+        for want in [
+            "request",
+            "queue.wait",
+            "deadline.check",
+            "execute",
+            "store.get",
+            "retrieval.plan",
+            "store.fetch",
+            "decode.recover",
+        ] {
+            assert!(names.contains(&want), "missing span '{want}' in {names:?}");
+        }
+
+        // The TRACE_EXPORT op serves the same tree as valid, well-nested
+        // Chrome trace JSON.
+        match roundtrip(&engine, Op::TraceExport) {
+            Response::TraceOk { json } => {
+                let doc = tornado_obs::json::parse(&json).unwrap();
+                let stats =
+                    validate_chrome_trace(&doc, &["request", "store.get", "decode.recover"])
+                        .unwrap();
+                assert!(stats.events >= 8, "{stats:?}");
+                assert_eq!(stats.roots, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn untraced_jobs_record_no_spans_even_with_tracing_enabled() {
+        let store = Arc::new(ArchivalStore::new(tornado_graph_1()));
+        let obs = Arc::new(ServerObserver::disabled().with_tracer(Tracer::new(1, 1024, 4)));
+        let engine = Engine::start(Arc::clone(&store), Arc::clone(&obs), Instant::now(), 1, 8);
+        assert_eq!(roundtrip(&engine, Op::Ping), Response::Ok);
+        assert_eq!(obs.tracer.recorded(), 0, "no JobTrace → no spans");
         engine.shutdown();
     }
 }

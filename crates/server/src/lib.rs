@@ -24,8 +24,10 @@
 //!   seeded operation mix (weighted put/get/delete, zipfian object
 //!   popularity) and mid-run device-failure injection, verifying every
 //!   GET byte-for-byte;
-//! * [`obs`] — `tornado-obs` counters, latency histograms, and JSON-lines
-//!   events for every stage.
+//! * [`obs`] — `tornado-obs` counters, latency histograms, JSON-lines
+//!   events, sampled request-scoped trace spans (exported as Chrome
+//!   trace-event JSON), and a time-series ring of periodic counter
+//!   samples for windowed rates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,7 +45,7 @@ pub mod server;
 pub use client::Client;
 pub use config::ServerConfig;
 pub use error::ClientError;
-pub use load::{run_load, LoadConfig, LoadReport, OpMix};
+pub use load::{run_load, LoadConfig, LoadReport, OpMix, TraceExemplar};
 pub use obs::ServerObserver;
 pub use protocol::{Op, Request, Response, StatMeta};
 pub use queue::BoundedQueue;

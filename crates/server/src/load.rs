@@ -77,6 +77,17 @@ pub struct LoadConfig {
     pub fail_spacing_ms: u64,
     /// Per-request deadline stamped by each client (0 = none).
     pub deadline_ms: u32,
+    /// Trace propagation: stamp every logical operation with a
+    /// deterministic trace id drawn from the worker's seeded rng, and
+    /// report the 1-in-N ids the server's sampler will keep (same
+    /// `tornado_obs::trace::sampled` key function on both sides).
+    /// 0 stamps no trace ids at all — the wire format stays pre-trace.
+    pub trace_sample: u64,
+    /// Stop each worker after this many measured operations (0 = run
+    /// until the clock). With a generous `duration_ms` this makes the
+    /// op stream — and therefore the sampled trace-id set — an exact
+    /// function of `seed`, independent of server worker count.
+    pub op_limit: u64,
 }
 
 impl Default for LoadConfig {
@@ -95,6 +106,37 @@ impl Default for LoadConfig {
             fail_after_ms: 300,
             fail_spacing_ms: 50,
             deadline_ms: 0,
+            trace_sample: 256,
+            op_limit: 0,
+        }
+    }
+}
+
+/// How many slowest-operation exemplars each run retains.
+pub const EXEMPLAR_KEEP: usize = 5;
+
+/// One slow sampled operation, printable next to p50/p99 so the operator
+/// can jump straight from a latency number to its span tree in the
+/// server's trace export.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceExemplar {
+    /// Client-observed latency, microseconds.
+    pub latency_us: u64,
+    /// The trace id stamped on the request (look it up in the export).
+    pub trace_id: u64,
+    /// Operation kind: `"put"`, `"get"`, or `"delete"`.
+    pub op: &'static str,
+}
+
+/// Keeps the `EXEMPLAR_KEEP` slowest exemplars via min-replace.
+fn note_exemplar(slowest: &mut Vec<TraceExemplar>, e: TraceExemplar) {
+    if slowest.len() < EXEMPLAR_KEEP {
+        slowest.push(e);
+        return;
+    }
+    if let Some(i) = (0..slowest.len()).min_by_key(|&i| slowest[i].latency_us) {
+        if e.latency_us > slowest[i].latency_us {
+            slowest[i] = e;
         }
     }
 }
@@ -131,6 +173,12 @@ pub struct LoadReport {
     pub degraded_reads: u64,
     /// The server's final `tornado-metrics-v1` snapshot (pretty JSON).
     pub server_metrics_json: String,
+    /// Trace ids the server's deterministic sampler will have kept
+    /// (sorted, deduplicated; empty when `trace_sample` is 0).
+    pub sampled_trace_ids: Vec<u64>,
+    /// The slowest sampled operations across all workers, latency
+    /// descending (at most [`EXEMPLAR_KEEP`]).
+    pub slowest: Vec<TraceExemplar>,
 }
 
 impl LoadReport {
@@ -160,7 +208,22 @@ impl LoadReport {
             .counter_value("load.payload_mismatches", self.payload_mismatches)
             .counter_value("load.devices_failed", self.devices_failed.len() as u64)
             .counter_value("load.degraded_reads", self.degraded_reads)
+            .counter_value("load.sampled_traces", self.sampled_trace_ids.len() as u64)
             .histogram("load.latency_us", &self.latency_us);
+        if !self.slowest.is_empty() {
+            let arr = self
+                .slowest
+                .iter()
+                .map(|e| {
+                    Json::Obj(vec![
+                        ("latency_us".into(), Json::U64(e.latency_us)),
+                        ("trace_id".into(), Json::Str(format!("{:#018x}", e.trace_id))),
+                        ("op".into(), Json::Str(e.op.into())),
+                    ])
+                })
+                .collect();
+            snap.set("slowest_traces", Json::Arr(arr));
+        }
         if let Ok(server) = tornado_obs::json::parse(&self.server_metrics_json) {
             snap.set("server", server);
         }
@@ -244,6 +307,30 @@ struct WorkerTally {
     unrecoverable: u64,
     payload_mismatches: u64,
     latency_us: Histogram,
+    sampled_trace_ids: Vec<u64>,
+    slowest: Vec<TraceExemplar>,
+}
+
+impl WorkerTally {
+    /// Records one completed operation: latency, per-op counter, and —
+    /// when its trace id is one the server's sampler keeps — the sampled
+    /// id and a slowest-exemplar candidate.
+    fn complete(&mut self, cfg: &LoadConfig, trace_id: Option<u64>, op: &'static str, latency_us: u64) {
+        self.latency_us.record(latency_us);
+        self.ops += 1;
+        match op {
+            "put" => self.puts += 1,
+            "get" => self.gets += 1,
+            "delete" => self.deletes += 1,
+            _ => {}
+        }
+        if let Some(id) = trace_id {
+            if tornado_obs::trace::sampled(id, cfg.trace_sample) {
+                self.sampled_trace_ids.push(id);
+                note_exemplar(&mut self.slowest, TraceExemplar { latency_us, trace_id: id, op });
+            }
+        }
+    }
 }
 
 /// Runs the load and returns the aggregated report.
@@ -304,6 +391,8 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
         devices_failed,
         degraded_reads: 0,
         server_metrics_json: String::new(),
+        sampled_trace_ids: Vec::new(),
+        slowest: Vec::new(),
     };
     for t in &tallies {
         report.ops += t.ops;
@@ -315,7 +404,14 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
         report.unrecoverable += t.unrecoverable;
         report.payload_mismatches += t.payload_mismatches;
         report.latency_us.merge(&t.latency_us);
+        report.sampled_trace_ids.extend(&t.sampled_trace_ids);
+        for &e in &t.slowest {
+            note_exemplar(&mut report.slowest, e);
+        }
     }
+    report.sampled_trace_ids.sort_unstable();
+    report.sampled_trace_ids.dedup();
+    report.slowest.sort_unstable_by_key(|e| std::cmp::Reverse(e.latency_us));
     report.ops_per_sec = report.ops as f64 * 1000.0 / elapsed_ms as f64;
 
     report.server_metrics_json = admin.metrics()?;
@@ -345,21 +441,42 @@ fn worker_loop(cfg: &LoadConfig, worker: u64, stop_at: Instant, seq: &AtomicU64)
     let mut table = ZipfTable::new(cfg.zipf_theta);
 
     for _ in 0..cfg.prefill {
-        do_put(cfg, &mut client, &mut rng, &mut table, seq, &mut tally);
+        let tid = next_trace_id(cfg, &mut rng, &mut client);
+        do_put(cfg, &mut client, &mut rng, &mut table, seq, &mut tally, tid);
     }
 
-    while Instant::now() < stop_at {
+    let measured_start = tally.ops;
+    while Instant::now() < stop_at
+        && (cfg.op_limit == 0 || tally.ops - measured_start < cfg.op_limit)
+    {
+        // The trace id is drawn from the same seeded stream as the op
+        // choice, so the id sequence — and the sampled subset — is an
+        // exact function of (seed, worker index).
+        let tid = next_trace_id(cfg, &mut rng, &mut client);
         let total = cfg.mix.put + cfg.mix.get + cfg.mix.delete;
         let pick = if total == 0 { 0 } else { rng.gen_range(0..total) };
         if pick < cfg.mix.put || table.len() == 0 {
-            do_put(cfg, &mut client, &mut rng, &mut table, seq, &mut tally);
+            do_put(cfg, &mut client, &mut rng, &mut table, seq, &mut tally, tid);
         } else if pick < cfg.mix.put + cfg.mix.get {
-            do_get(&mut client, &mut rng, &mut table, &mut tally);
+            do_get(cfg, &mut client, &mut rng, &mut table, &mut tally, tid);
         } else {
-            do_delete(&mut client, &mut rng, &mut table, &mut tally);
+            do_delete(cfg, &mut client, &mut rng, &mut table, &mut tally, tid);
         }
     }
     tally
+}
+
+/// Draws the next logical operation's trace id and stamps it on the
+/// client (retries inside the op keep the same id, so their spans land
+/// in one trace). `None` — and an untraced wire header — when trace
+/// propagation is off.
+fn next_trace_id(cfg: &LoadConfig, rng: &mut SmallRng, client: &mut Client) -> Option<u64> {
+    if cfg.trace_sample == 0 {
+        return None;
+    }
+    let tid = rng.next_u64();
+    client.set_trace_id(Some(tid));
+    Some(tid)
 }
 
 fn do_put(
@@ -369,6 +486,7 @@ fn do_put(
     table: &mut ZipfTable,
     seq: &AtomicU64,
     tally: &mut WorkerTally,
+    trace_id: Option<u64>,
 ) {
     let len = if cfg.payload_max > cfg.payload_min {
         rng.gen_range(cfg.payload_min..=cfg.payload_max)
@@ -384,9 +502,7 @@ fn do_put(
         let t = Instant::now();
         match client.put(&name, &payload) {
             Ok(id) => {
-                tally.latency_us.record(t.elapsed().as_micros() as u64);
-                tally.ops += 1;
-                tally.puts += 1;
+                tally.complete(cfg, trace_id, "put", t.elapsed().as_micros() as u64);
                 table.push(ObjEntry { id, seed: obj_seed, len: len.max(1) });
                 return;
             }
@@ -402,7 +518,14 @@ fn do_put(
     }
 }
 
-fn do_get(client: &mut Client, rng: &mut SmallRng, table: &mut ZipfTable, tally: &mut WorkerTally) {
+fn do_get(
+    cfg: &LoadConfig,
+    client: &mut Client,
+    rng: &mut SmallRng,
+    table: &mut ZipfTable,
+    tally: &mut WorkerTally,
+    trace_id: Option<u64>,
+) {
     let i = table.sample(rng);
     let (id, seed, len) = {
         let e = &table.entries[i];
@@ -412,9 +535,7 @@ fn do_get(client: &mut Client, rng: &mut SmallRng, table: &mut ZipfTable, tally:
         let t = Instant::now();
         match client.get(id) {
             Ok(payload) => {
-                tally.latency_us.record(t.elapsed().as_micros() as u64);
-                tally.ops += 1;
-                tally.gets += 1;
+                tally.complete(cfg, trace_id, "get", t.elapsed().as_micros() as u64);
                 if payload != payload_for(seed, len) {
                     tally.payload_mismatches += 1;
                 }
@@ -436,16 +557,21 @@ fn do_get(client: &mut Client, rng: &mut SmallRng, table: &mut ZipfTable, tally:
     }
 }
 
-fn do_delete(client: &mut Client, rng: &mut SmallRng, table: &mut ZipfTable, tally: &mut WorkerTally) {
+fn do_delete(
+    cfg: &LoadConfig,
+    client: &mut Client,
+    rng: &mut SmallRng,
+    table: &mut ZipfTable,
+    tally: &mut WorkerTally,
+    trace_id: Option<u64>,
+) {
     let i = table.sample(rng);
     let e = table.remove(i);
     loop {
         let t = Instant::now();
         match client.delete(e.id) {
             Ok(()) => {
-                tally.latency_us.record(t.elapsed().as_micros() as u64);
-                tally.ops += 1;
-                tally.deletes += 1;
+                tally.complete(cfg, trace_id, "delete", t.elapsed().as_micros() as u64);
                 return;
             }
             Err(ClientError::Busy) => {
@@ -508,5 +634,39 @@ mod tests {
     fn op_mix_default_is_read_heavy() {
         let m = OpMix::default();
         assert!(m.get > m.put + m.delete);
+    }
+
+    #[test]
+    fn exemplar_keeper_retains_the_slowest() {
+        let mut slowest = Vec::new();
+        for (i, lat) in [50u64, 900, 10, 700, 300, 5, 800, 600].iter().enumerate() {
+            note_exemplar(
+                &mut slowest,
+                TraceExemplar { latency_us: *lat, trace_id: i as u64, op: "get" },
+            );
+        }
+        assert_eq!(slowest.len(), EXEMPLAR_KEEP);
+        let mut kept: Vec<u64> = slowest.iter().map(|e| e.latency_us).collect();
+        kept.sort_unstable();
+        assert_eq!(kept, vec![300, 600, 700, 800, 900]);
+    }
+
+    #[test]
+    fn worker_tally_keeps_only_server_sampled_trace_ids() {
+        let cfg = LoadConfig { trace_sample: 4, ..LoadConfig::default() };
+        let mut tally = WorkerTally::default();
+        let mut expected = Vec::new();
+        for id in 0..400u64 {
+            tally.complete(&cfg, Some(id), "get", id);
+            if tornado_obs::trace::sampled(id, cfg.trace_sample) {
+                expected.push(id);
+            }
+        }
+        assert_eq!(tally.sampled_trace_ids, expected);
+        assert!(!expected.is_empty(), "1-in-4 sampling over 400 ids keeps some");
+        assert!(tally
+            .slowest
+            .iter()
+            .all(|e| tornado_obs::trace::sampled(e.trace_id, cfg.trace_sample)));
     }
 }

@@ -10,13 +10,23 @@
 //! gauges (offline devices, writes rejected while offline).
 
 use std::sync::Arc;
-use tornado_obs::{Counter, EventSink, Gauge, Histogram, Json, Snapshot};
+use tornado_obs::{
+    Counter, EventSink, Gauge, Histogram, Json, SeriesPoint, Snapshot, TimeSeries, Tracer,
+};
 use tornado_store::{ArchivalStore, StoreObserver};
+
+/// How many periodic samples the server's time-series ring retains.
+/// At the default 500 ms interval this is one minute of history.
+pub const TIMESERIES_CAPACITY: usize = 120;
 
 /// Metrics and events for one server instance.
 pub struct ServerObserver {
     /// Structured event sink (disabled by default).
     pub events: EventSink,
+    /// Request-scoped span collector (disabled by default).
+    pub tracer: Tracer,
+    /// Periodic counter samples for windowed rates.
+    pub timeseries: TimeSeries,
     /// Connections accepted, cumulative.
     pub connections_opened: Counter,
     /// Connections currently open.
@@ -74,6 +84,8 @@ impl ServerObserver {
     pub fn disabled() -> Self {
         Self {
             events: EventSink::disabled(),
+            tracer: Tracer::disabled(),
+            timeseries: TimeSeries::new(TIMESERIES_CAPACITY),
             connections_opened: Counter::new(),
             connections_active: Gauge::new(),
             puts: Counter::new(),
@@ -104,6 +116,12 @@ impl ServerObserver {
     /// Replaces the event sink.
     pub fn with_events(mut self, events: EventSink) -> Self {
         self.events = events;
+        self
+    }
+
+    /// Replaces the tracer (enables span collection).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -138,6 +156,25 @@ impl ServerObserver {
         self.queue_depth_peak.raise(depth as i64);
     }
 
+    /// Takes one time-series sample of the rate-relevant cumulative
+    /// counters (the periodic sampler thread and tests call this).
+    pub fn sample_timeseries(&self, t_ms: u64) {
+        self.timeseries.push(SeriesPoint {
+            t_ms,
+            values: vec![
+                ("server.requests".into(), self.requests_total()),
+                ("server.put".into(), self.puts.get()),
+                ("server.get".into(), self.gets.get()),
+                ("server.busy_rejected".into(), self.busy_rejected.get()),
+                ("server.deadline_exceeded".into(), self.deadline_exceeded.get()),
+                ("server.get.degraded".into(), self.degraded_reads.get()),
+                ("server.bytes_in".into(), self.bytes_in.get()),
+                ("server.bytes_out".into(), self.bytes_out.get()),
+                ("server.errors".into(), self.errors.get()),
+            ],
+        });
+    }
+
     /// Writes every server metric into `snap`.
     pub fn fill_snapshot(&self, snap: &mut Snapshot) {
         snap.counter("server.connections_opened", &self.connections_opened)
@@ -157,6 +194,8 @@ impl ServerObserver {
             .counter("server.get.blocks_recovered", &self.blocks_recovered)
             .counter("server.bytes_in", &self.bytes_in)
             .counter("server.bytes_out", &self.bytes_out)
+            .counter_value("trace.spans_recorded", self.tracer.recorded())
+            .counter_value("trace.spans_dropped", self.tracer.dropped())
             .gauge("server.connections_active", &self.connections_active)
             .gauge("server.queue_depth", &self.queue_depth)
             .gauge("server.queue_depth_peak", &self.queue_depth_peak);
@@ -179,6 +218,11 @@ impl ServerObserver {
         self.store_obs.record_device_health(store);
         let mut snap = Snapshot::new("serve", elapsed_ms);
         snap.set("devices", Json::U64(store.num_devices() as u64));
+        if !self.timeseries.is_empty() {
+            // Extra top-level key: tornado-metrics-v1 validators ignore
+            // unknown keys, so old consumers keep parsing these snapshots.
+            snap.set("timeseries", self.timeseries.to_json());
+        }
         self.fill_snapshot(&mut snap);
         snap
     }

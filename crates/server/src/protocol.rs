@@ -12,10 +12,16 @@
 //! integers little-endian:
 //!
 //! ```text
-//! byte 0       opcode
+//! byte 0       opcode (low 7 bits) | TRACE_FLAG (0x80)
 //! bytes 1..5   deadline_ms: u32 (0 = no deadline)
-//! bytes 5..    op fields
+//! [bytes 5..13 trace_id: u64 — present iff TRACE_FLAG set]
+//! bytes ..     op fields
 //! ```
+//!
+//! The trace id rides in a flag bit so the header stays back-compatible
+//! both ways: pre-trace clients never set the bit and their frames decode
+//! exactly as before, and a pre-trace server would reject a flagged
+//! opcode loudly (unknown opcode) rather than misparse the body.
 //!
 //! | opcode | op            | fields                                   |
 //! |--------|---------------|------------------------------------------|
@@ -28,6 +34,7 @@
 //! | 7      | REVIVE_DEVICE | device: u32                              |
 //! | 8      | METRICS       | —                                        |
 //! | 9      | SHUTDOWN      | —                                        |
+//! | 10     | TRACE_EXPORT  | —                                        |
 //!
 //! A response body starts with a status byte; successful statuses are
 //! op-shaped so responses decode without request context:
@@ -39,6 +46,7 @@
 //! | 2      | OK GET             | payload (rest)                        |
 //! | 3      | OK STAT            | id u64, size u64, block_len u64, rotation u32, name_len u16, name |
 //! | 4      | OK METRICS         | JSON snapshot, UTF-8 (rest)           |
+//! | 5      | OK TRACE           | Chrome trace JSON, UTF-8 (rest)       |
 //! | 16     | BUSY               | — (queue full: back off and retry)    |
 //! | 17     | NOT_FOUND          | id: u64                               |
 //! | 18     | UNRECOVERABLE      | id: u64, lost_blocks: u32             |
@@ -53,12 +61,18 @@ use std::io::{self, Read, Write};
 /// allocation (a corrupt or hostile peer cannot balloon memory).
 pub const MAX_FRAME: usize = 16 << 20;
 
+/// Header flag bit: an 8-byte trace id follows `deadline_ms`.
+pub const TRACE_FLAG: u8 = 0x80;
+
 /// One decoded request: a deadline plus the operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Request {
     /// Milliseconds the client allows for this request, measured from
     /// server acceptance; 0 means no deadline.
     pub deadline_ms: u32,
+    /// Client-assigned distributed-trace id; `None` from pre-trace
+    /// clients (the server then assigns its own for sampled spans).
+    pub trace_id: Option<u64>,
     /// The operation.
     pub op: Op,
 }
@@ -104,6 +118,8 @@ pub enum Op {
     Metrics,
     /// Admin: gracefully shut the server down (drains in-flight work).
     Shutdown,
+    /// Admin: export retained trace spans as Chrome trace-event JSON.
+    TraceExport,
 }
 
 impl Op {
@@ -119,6 +135,7 @@ impl Op {
             Op::ReviveDevice { .. } => "revive_device",
             Op::Metrics => "metrics",
             Op::Shutdown => "shutdown",
+            Op::TraceExport => "trace_export",
         }
     }
 }
@@ -163,6 +180,11 @@ pub enum Response {
         /// Pretty-printed `tornado-metrics-v1` JSON.
         json: String,
     },
+    /// Successful TRACE_EXPORT.
+    TraceOk {
+        /// Pretty-printed Chrome trace-event JSON.
+        json: String,
+    },
     /// The bounded request queue is full — explicit backpressure; the
     /// client should back off and retry.
     Busy,
@@ -202,7 +224,8 @@ impl Response {
             | Response::PutOk { .. }
             | Response::GetOk { .. }
             | Response::StatOk { .. }
-            | Response::MetricsOk { .. } => "ok",
+            | Response::MetricsOk { .. }
+            | Response::TraceOk { .. } => "ok",
             Response::Busy => "busy",
             Response::NotFound { .. } => "not_found",
             Response::Unrecoverable { .. } => "unrecoverable",
@@ -304,7 +327,7 @@ impl<'a> Cursor<'a> {
 impl Request {
     /// Serializes the request body (no frame prefix).
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(16);
+        let mut buf = Vec::with_capacity(24);
         let opcode: u8 = match &self.op {
             Op::Put { .. } => 1,
             Op::Get { .. } => 2,
@@ -315,9 +338,17 @@ impl Request {
             Op::ReviveDevice { .. } => 7,
             Op::Metrics => 8,
             Op::Shutdown => 9,
+            Op::TraceExport => 10,
         };
-        buf.push(opcode);
+        buf.push(if self.trace_id.is_some() {
+            opcode | TRACE_FLAG
+        } else {
+            opcode
+        });
         put_u32(&mut buf, self.deadline_ms);
+        if let Some(trace_id) = self.trace_id {
+            put_u64(&mut buf, trace_id);
+        }
         match &self.op {
             Op::Put { name, payload } => {
                 put_u16(&mut buf, name.len() as u16);
@@ -326,7 +357,7 @@ impl Request {
             }
             Op::Get { id } | Op::Delete { id } | Op::Stat { id } => put_u64(&mut buf, *id),
             Op::FailDevice { device } | Op::ReviveDevice { device } => put_u32(&mut buf, *device),
-            Op::Ping | Op::Metrics | Op::Shutdown => {}
+            Op::Ping | Op::Metrics | Op::Shutdown | Op::TraceExport => {}
         }
         buf
     }
@@ -334,8 +365,14 @@ impl Request {
     /// Parses a request body.
     pub fn decode(body: &[u8]) -> Result<Request, WireError> {
         let mut c = Cursor::new(body);
-        let opcode = c.u8("opcode")?;
+        let tagged = c.u8("opcode")?;
+        let opcode = tagged & !TRACE_FLAG;
         let deadline_ms = c.u32("deadline")?;
+        let trace_id = if tagged & TRACE_FLAG != 0 {
+            Some(c.u64("trace id")?)
+        } else {
+            None
+        };
         let op = match opcode {
             1 => {
                 let name_len = c.u16("name length")? as usize;
@@ -354,10 +391,15 @@ impl Request {
             7 => Op::ReviveDevice { device: c.u32("device")? },
             8 => Op::Metrics,
             9 => Op::Shutdown,
+            10 => Op::TraceExport,
             other => return Err(WireError(format!("unknown opcode {other}"))),
         };
         c.finish(op.kind())?;
-        Ok(Request { deadline_ms, op })
+        Ok(Request {
+            deadline_ms,
+            trace_id,
+            op,
+        })
     }
 }
 
@@ -386,6 +428,10 @@ impl Response {
             }
             Response::MetricsOk { json } => {
                 buf.push(4);
+                buf.extend_from_slice(json.as_bytes());
+            }
+            Response::TraceOk { json } => {
+                buf.push(5);
                 buf.extend_from_slice(json.as_bytes());
             }
             Response::Busy => buf.push(16),
@@ -436,6 +482,13 @@ impl Response {
                 Response::MetricsOk {
                     json: String::from_utf8(rest.to_vec())
                         .map_err(|_| WireError("metrics JSON is not UTF-8".into()))?,
+                }
+            }
+            5 => {
+                let rest = c.rest();
+                Response::TraceOk {
+                    json: String::from_utf8(rest.to_vec())
+                        .map_err(|_| WireError("trace JSON is not UTF-8".into()))?,
                 }
             }
             16 => Response::Busy,
@@ -566,10 +619,12 @@ mod tests {
     fn requests_round_trip() {
         round_trip_request(Request {
             deadline_ms: 0,
+            trace_id: None,
             op: Op::Put { name: "hello/世界".into(), payload: vec![0, 1, 2, 255] },
         });
         round_trip_request(Request {
             deadline_ms: 250,
+            trace_id: None,
             op: Op::Put { name: String::new(), payload: Vec::new() },
         });
         for op in [
@@ -581,9 +636,87 @@ mod tests {
             Op::ReviveDevice { device: 0 },
             Op::Metrics,
             Op::Shutdown,
+            Op::TraceExport,
         ] {
-            round_trip_request(Request { deadline_ms: 42, op });
+            round_trip_request(Request { deadline_ms: 42, trace_id: None, op });
         }
+    }
+
+    #[test]
+    fn requests_round_trip_with_trace_ids() {
+        for trace_id in [Some(0u64), Some(1), Some(u64::MAX), None] {
+            for op in [
+                Op::Put { name: "t".into(), payload: vec![1, 2, 3] },
+                Op::Get { id: 9 },
+                Op::Ping,
+                Op::Metrics,
+                Op::TraceExport,
+            ] {
+                round_trip_request(Request { deadline_ms: 17, trace_id, op });
+            }
+        }
+    }
+
+    #[test]
+    fn pre_trace_client_frames_still_decode() {
+        // Hand-built frames exactly as a pre-trace client wrote them:
+        // opcode byte (no flag), u32 deadline, op fields — no trace id.
+        let mut get = vec![2u8];
+        get.extend_from_slice(&500u32.to_le_bytes());
+        get.extend_from_slice(&77u64.to_le_bytes());
+        assert_eq!(
+            Request::decode(&get).unwrap(),
+            Request { deadline_ms: 500, trace_id: None, op: Op::Get { id: 77 } }
+        );
+
+        let mut put = vec![1u8];
+        put.extend_from_slice(&0u32.to_le_bytes());
+        put.extend_from_slice(&3u16.to_le_bytes());
+        put.extend_from_slice(b"obj");
+        put.extend_from_slice(&[0xAA, 0xBB]);
+        assert_eq!(
+            Request::decode(&put).unwrap(),
+            Request {
+                deadline_ms: 0,
+                trace_id: None,
+                op: Op::Put { name: "obj".into(), payload: vec![0xAA, 0xBB] },
+            }
+        );
+
+        let mut ping = vec![5u8];
+        ping.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            Request::decode(&ping).unwrap(),
+            Request { deadline_ms: 0, trace_id: None, op: Op::Ping }
+        );
+    }
+
+    #[test]
+    fn untraced_encoding_is_byte_identical_to_the_pre_trace_wire_format() {
+        // An untraced GET must serialize exactly as the old format did, so
+        // new clients stay compatible with pre-trace servers.
+        let body = Request { deadline_ms: 500, trace_id: None, op: Op::Get { id: 77 } }.encode();
+        let mut expect = vec![2u8];
+        expect.extend_from_slice(&500u32.to_le_bytes());
+        expect.extend_from_slice(&77u64.to_le_bytes());
+        assert_eq!(body, expect);
+    }
+
+    #[test]
+    fn traced_header_sets_the_flag_bit_and_carries_the_id() {
+        let body = Request {
+            deadline_ms: 1,
+            trace_id: Some(0xDEAD_BEEF_CAFE_F00D),
+            op: Op::Get { id: 5 },
+        }
+        .encode();
+        assert_eq!(body[0], 2 | TRACE_FLAG);
+        assert_eq!(
+            u64::from_le_bytes(body[5..13].try_into().unwrap()),
+            0xDEAD_BEEF_CAFE_F00D
+        );
+        // A flagged frame with a truncated trace id must not misparse.
+        assert!(Request::decode(&body[..9]).is_err());
     }
 
     #[test]
@@ -603,6 +736,7 @@ mod tests {
                 },
             },
             Response::MetricsOk { json: "{\"schema\": \"tornado-metrics-v1\"}".into() },
+            Response::TraceOk { json: "{\"traceEvents\": []}".into() },
             Response::Busy,
             Response::NotFound { id: 12 },
             Response::Unrecoverable { id: 12, lost_blocks: 3 },
@@ -621,7 +755,7 @@ mod tests {
         assert!(Request::decode(&[200, 0, 0, 0, 0]).is_err(), "unknown opcode");
         assert!(Request::decode(&[2, 0, 0, 0, 0, 1, 2]).is_err(), "truncated id");
         // Trailing bytes after a fixed-size op are an error.
-        let mut body = Request { deadline_ms: 0, op: Op::Ping }.encode();
+        let mut body = Request { deadline_ms: 0, trace_id: None, op: Op::Ping }.encode();
         body.push(0);
         assert!(Request::decode(&body).is_err());
         assert!(Response::decode(&[99]).is_err(), "unknown status");

@@ -10,17 +10,23 @@
 //! [`ServerHandle::join`] returns only after every thread has exited.
 
 use crate::config::ServerConfig;
-use crate::engine::{Engine, Job};
+use crate::engine::{Engine, Job, JobTrace};
 use crate::obs::ServerObserver;
 use crate::protocol::{read_frame, write_frame, FrameRead, Op, Request, Response};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+use tornado_obs::trace::SpanRecord;
 use tornado_obs::Json;
 use tornado_store::ArchivalStore;
+
+/// Trace ids assigned to requests whose client sent none. A plain counter
+/// is enough: the sampling decision mixes the id, so sequential ids still
+/// sample uniformly.
+static SERVER_TRACE_SEQ: AtomicU64 = AtomicU64::new(1);
 
 /// Control handle for a running server.
 pub struct ServerHandle {
@@ -109,6 +115,31 @@ fn accept_loop(
     let active = Arc::new(AtomicI64::new(0));
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     let poll = Duration::from_millis(config.poll_interval_ms.max(1));
+    // Periodic time-series sampler: cumulative counters every interval,
+    // so METRICS consumers can compute windowed rates. Joined at drain so
+    // it never outlives the observer's useful life.
+    let sampler = (config.timeseries_interval_ms > 0).then(|| {
+        let shutdown = Arc::clone(shutdown);
+        let obs = Arc::clone(obs);
+        let interval = Duration::from_millis(config.timeseries_interval_ms);
+        thread::Builder::new()
+            .name("tornado-timeseries".into())
+            .spawn(move || {
+                let started = Instant::now();
+                while !shutdown.load(Ordering::SeqCst) {
+                    obs.sample_timeseries(started.elapsed().as_millis() as u64);
+                    // Sleep in short slices so shutdown is prompt even at
+                    // long sampling intervals.
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !shutdown.load(Ordering::SeqCst) {
+                        let slice = (interval - slept).min(Duration::from_millis(50));
+                        thread::sleep(slice);
+                        slept += slice;
+                    }
+                }
+            })
+            .expect("spawn timeseries sampler")
+    });
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, peer)) => {
@@ -119,10 +150,19 @@ fn accept_loop(
                 let obs = Arc::clone(obs);
                 let active = Arc::clone(&active);
                 let default_deadline_ms = config.default_deadline_ms;
+                let slow_request_us = config.slow_request_us;
                 let handler = thread::Builder::new()
                     .name(format!("tornado-conn-{peer}"))
                     .spawn(move || {
-                        handle_connection(stream, &engine, &shutdown, &obs, default_deadline_ms, poll);
+                        handle_connection(
+                            stream,
+                            &engine,
+                            &shutdown,
+                            &obs,
+                            default_deadline_ms,
+                            slow_request_us,
+                            poll,
+                        );
                         obs.connections_active.set(active.fetch_sub(1, Ordering::SeqCst) - 1);
                     })
                     .expect("spawn connection handler");
@@ -141,10 +181,15 @@ fn accept_loop(
     for h in handlers {
         let _ = h.join();
     }
+    if let Some(s) = sampler {
+        let _ = s.join();
+    }
     Arc::try_unwrap(engine)
         .unwrap_or_else(|_| unreachable!("all handler clones joined"))
         .shutdown();
     obs.events.emit("server.stop", &[]);
+    // Shutdown is the one moment buffered file events must hit disk.
+    obs.events.flush();
 }
 
 fn handle_connection(
@@ -153,6 +198,7 @@ fn handle_connection(
     shutdown: &AtomicBool,
     obs: &ServerObserver,
     default_deadline_ms: u32,
+    slow_request_us: u64,
     poll: Duration,
 ) {
     if stream.set_read_timeout(Some(poll)).is_err() || stream.set_nodelay(true).is_err() {
@@ -169,6 +215,7 @@ fn handle_connection(
             }
             Ok(FrameRead::Eof) | Err(_) => return,
         };
+        let req_start = Instant::now();
         let request = match Request::decode(&body) {
             Ok(r) => r,
             Err(e) => {
@@ -180,6 +227,7 @@ fn handle_connection(
                 return;
             }
         };
+        let decode_us = req_start.elapsed().as_micros() as u64;
 
         if matches!(request.op, Op::Shutdown) {
             shutdown.store(true, Ordering::SeqCst);
@@ -193,12 +241,50 @@ fn handle_connection(
             return;
         }
 
+        // Trace context: the client's id if it sent one (so its spans and
+        // ours share a trace), a server-assigned id otherwise. Sampling is
+        // a pure function of the id — no per-request coin flip.
+        let trace_id = request
+            .trace_id
+            .unwrap_or_else(|| SERVER_TRACE_SEQ.fetch_add(1, Ordering::Relaxed));
+        // TRACE_EXPORT itself is never traced: it snapshots the ring
+        // mid-request, so its own half-built tree (children recorded,
+        // root still pending) would pollute every export with orphans.
+        let traceable = !matches!(request.op, Op::TraceExport);
+        let trace = (traceable && obs.tracer.is_enabled() && obs.tracer.sampled(trace_id)).then(|| {
+            let root_span = obs.tracer.next_span_id();
+            let now_us = obs.tracer.now_us();
+            let root_start_us = now_us.saturating_sub(decode_us);
+            obs.tracer.record(SpanRecord {
+                trace_id,
+                span_id: obs.tracer.next_span_id(),
+                parent_id: Some(root_span),
+                name: "frame.decode",
+                start_us: root_start_us,
+                dur_us: decode_us,
+                fields: vec![("frame_bytes", Json::U64(body.len() as u64))],
+            });
+            (root_span, root_start_us)
+        });
+
+        let op_kind = request.op.kind();
         let accepted_at = Instant::now();
         let deadline_ms = if request.deadline_ms > 0 { request.deadline_ms } else { default_deadline_ms };
         let deadline =
             (deadline_ms > 0).then(|| accepted_at + Duration::from_millis(deadline_ms as u64));
         let (tx, rx) = mpsc::channel();
-        let response = match engine.submit(Job { request, reply: tx, accepted_at, deadline }) {
+        let job_trace = trace.map(|(root_span, _)| JobTrace {
+            trace_id,
+            root_span,
+            accepted_us: obs.tracer.now_us(),
+        });
+        let response = match engine.submit(Job {
+            request,
+            reply: tx,
+            accepted_at,
+            deadline,
+            trace: job_trace,
+        }) {
             Ok(()) => match rx.recv() {
                 Ok(r) => r,
                 // Worker pool tore down mid-request (shutdown race).
@@ -206,10 +292,73 @@ fn handle_connection(
             },
             Err(rejection) => rejection,
         };
-        if !reply(&mut stream, &response) {
+        let keep = reply(&mut stream, &response);
+
+        // Root span last: every child is already recorded, so the root's
+        // window (decode start → reply written) encloses them all.
+        if let Some((root_span, root_start_us)) = trace {
+            obs.tracer.record(SpanRecord {
+                trace_id,
+                span_id: root_span,
+                parent_id: None,
+                name: "request",
+                start_us: root_start_us,
+                dur_us: obs.tracer.now_us().saturating_sub(root_start_us),
+                fields: vec![
+                    ("op", Json::Str(op_kind.into())),
+                    ("status", Json::Str(response.kind().into())),
+                ],
+            });
+        }
+        let total_us = req_start.elapsed().as_micros() as u64;
+        if slow_request_us > 0 && total_us >= slow_request_us && obs.events.is_enabled() {
+            emit_slow_request(obs, trace_id, op_kind, &response, total_us, trace.is_some());
+        }
+        if !keep {
             return;
         }
     }
+}
+
+/// Emits a `server.slow_request` event; when the request was sampled the
+/// event carries its full span tree (name/span/parent/start/duration), so
+/// the slow path is diagnosable straight from the event stream.
+fn emit_slow_request(
+    obs: &ServerObserver,
+    trace_id: u64,
+    op_kind: &str,
+    response: &Response,
+    total_us: u64,
+    sampled: bool,
+) {
+    let mut fields = vec![
+        ("trace_id", Json::Str(format!("{trace_id:#018x}"))),
+        ("op", Json::Str(op_kind.into())),
+        ("status", Json::Str(response.kind().into())),
+        ("total_us", Json::U64(total_us)),
+        ("sampled", Json::Bool(sampled)),
+    ];
+    if sampled {
+        let spans: Vec<Json> = obs
+            .tracer
+            .spans_for(trace_id)
+            .into_iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(s.name.into())),
+                    ("span".into(), Json::U64(s.span_id)),
+                    (
+                        "parent".into(),
+                        s.parent_id.map(Json::U64).unwrap_or(Json::Null),
+                    ),
+                    ("start_us".into(), Json::U64(s.start_us)),
+                    ("dur_us".into(), Json::U64(s.dur_us)),
+                ])
+            })
+            .collect();
+        fields.push(("spans", Json::Arr(spans)));
+    }
+    obs.events.emit("server.slow_request", &fields);
 }
 
 /// Writes one response frame; `false` means the connection is dead.

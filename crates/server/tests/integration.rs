@@ -6,20 +6,28 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 use tornado_core::tornado_graph_1;
+use tornado_obs::Tracer;
 use tornado_server::{
     load, serve, Client, ClientError, LoadConfig, Op, Response, ServerConfig, ServerObserver,
 };
 use tornado_store::ArchivalStore;
 
 fn start_server(workers: usize, queue_depth: usize) -> (tornado_server::ServerHandle, String) {
-    let store = Arc::new(ArchivalStore::new(tornado_graph_1()));
     let cfg = ServerConfig {
         workers,
         queue_depth,
         poll_interval_ms: 10,
         ..ServerConfig::default()
     };
-    let handle = serve(cfg, store, ServerObserver::shared()).expect("bind ephemeral port");
+    start_server_with(cfg, ServerObserver::shared())
+}
+
+fn start_server_with(
+    cfg: ServerConfig,
+    obs: Arc<ServerObserver>,
+) -> (tornado_server::ServerHandle, String) {
+    let store = Arc::new(ArchivalStore::new(tornado_graph_1()));
+    let handle = serve(cfg, store, obs).expect("bind ephemeral port");
     let addr = handle.local_addr().to_string();
     (handle, addr)
 }
@@ -234,6 +242,171 @@ fn load_generator_end_to_end_with_failure_injection() {
     let mut c = Client::connect(&addr).unwrap();
     c.shutdown().unwrap();
     handle.join();
+}
+
+#[test]
+fn trace_export_over_tcp_shows_the_degraded_get_span_tree() {
+    // Sample everything so the one GET we care about is guaranteed kept.
+    let obs = Arc::new(ServerObserver::disabled().with_tracer(Tracer::new(1, 4096, 16)));
+    let cfg = ServerConfig { workers: 2, queue_depth: 16, poll_interval_ms: 10, ..ServerConfig::default() };
+    let (handle, addr) = start_server_with(cfg, obs);
+
+    let mut client = Client::connect(&addr).unwrap();
+    let payload = load::payload_for(0xFEED, 30_000);
+    let id = client.put("traced", &payload).unwrap();
+    for device in [2, 17, 48, 95] {
+        client.fail_device(device).unwrap();
+    }
+    client.set_trace_id(Some(0xDEAD_BEEF));
+    assert_eq!(client.get(id).unwrap(), payload, "degraded read still byte-for-byte");
+    client.set_trace_id(None);
+
+    let json = client.trace_export().unwrap();
+    let doc = tornado_obs::json::parse(&json).unwrap();
+    let stats = tornado_obs::trace::validate_chrome_trace(
+        &doc,
+        &["request", "frame.decode", "queue.wait", "execute", "store.get", "decode.recover"],
+    )
+    .expect("export is well-nested Chrome trace JSON");
+    assert!(stats.events >= 8, "full span tree exported, got {}", stats.events);
+    assert!(stats.traces >= 2, "PUT and GET traces both sampled");
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn slow_request_events_attach_the_span_tree_for_sampled_requests() {
+    let (events, lines) = tornado_obs::EventSink::memory(tornado_obs::EventFormat::Json);
+    let obs = Arc::new(
+        ServerObserver::disabled()
+            .with_events(events)
+            .with_tracer(Tracer::new(1, 4096, 16)),
+    );
+    // A 1µs threshold makes every request slow.
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_depth: 8,
+        poll_interval_ms: 10,
+        slow_request_us: 1,
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start_server_with(cfg, obs);
+
+    let mut client = Client::connect(&addr).unwrap();
+    client.set_trace_id(Some(0x51));
+    let id = client.put("slow", &[9u8; 4096]).unwrap();
+    client.get(id).unwrap();
+    client.set_trace_id(None);
+    client.shutdown().unwrap();
+    handle.join();
+
+    let lines = lines.lock().unwrap();
+    let slow: Vec<&String> =
+        lines.iter().filter(|l| l.contains("server.slow_request")).collect();
+    assert!(slow.len() >= 2, "PUT and GET both crossed the 1µs threshold: {lines:?}");
+    let parsed = tornado_obs::json::parse(slow[0]).unwrap();
+    assert_eq!(
+        parsed.get("trace_id").and_then(tornado_obs::Json::as_str),
+        Some("0x0000000000000051")
+    );
+    assert_eq!(parsed.get("sampled"), Some(&tornado_obs::Json::Bool(true)));
+    let spans = parsed.get("spans").expect("sampled slow request carries its span tree");
+    match spans {
+        tornado_obs::Json::Arr(items) => assert!(!items.is_empty()),
+        other => panic!("spans should be an array, got {other:?}"),
+    }
+}
+
+#[test]
+fn metrics_snapshot_carries_a_populated_timeseries() {
+    let cfg = ServerConfig {
+        workers: 2,
+        queue_depth: 16,
+        poll_interval_ms: 10,
+        timeseries_interval_ms: 20,
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start_server_with(cfg, ServerObserver::shared());
+
+    let mut client = Client::connect(&addr).unwrap();
+    for i in 0..5 {
+        let id = client.put(&format!("ts-{i}"), &[i as u8; 2048]).unwrap();
+        client.get(id).unwrap();
+        thread::sleep(Duration::from_millis(15));
+    }
+
+    // Poll until the sampler has taken a post-traffic sample (the thread
+    // runs on its own 20ms cadence, so one fetch could race it).
+    let series_value = |p: &tornado_obs::SeriesPoint, k: &str| {
+        p.values.iter().find(|(n, _)| n == k).map(|&(_, v)| v).unwrap()
+    };
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let doc = tornado_obs::json::parse(&client.metrics().unwrap()).unwrap();
+        tornado_obs::snapshot::validate(&doc).unwrap();
+        let points = tornado_obs::timeseries::points_from_json(
+            doc.get("timeseries").expect("timeseries key"),
+        )
+        .expect("parseable series points");
+        if points.len() >= 2 {
+            let first = &points[0];
+            let last = &points[points.len() - 1];
+            assert!(last.t_ms > first.t_ms, "samples are time-ordered");
+            if series_value(last, "server.requests") >= 10 {
+                break;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sampler never caught up to the 10 issued requests: {points:?}"
+        );
+        thread::sleep(Duration::from_millis(25));
+    }
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn sampled_trace_ids_are_identical_across_server_worker_counts() {
+    // Same load seed + op_limit against a 1-worker and a 4-worker server:
+    // the sampled trace-id set must match exactly, because sampling is a
+    // pure function of the client-generated ids, never of server timing.
+    let run = |workers: usize| {
+        let cfg = ServerConfig {
+            workers,
+            queue_depth: 64,
+            poll_interval_ms: 10,
+            ..ServerConfig::default()
+        };
+        let (handle, addr) = start_server_with(cfg, ServerObserver::shared());
+        let report = load::run_load(&LoadConfig {
+            addr: addr.clone(),
+            connections: 2,
+            duration_ms: 30_000, // generous: op_limit is what stops the run
+            op_limit: 60,
+            trace_sample: 4,
+            seed: 7,
+            prefill: 3,
+            payload_min: 256,
+            payload_max: 2048,
+            ..LoadConfig::default()
+        })
+        .expect("load run succeeds");
+        let mut c = Client::connect(&addr).unwrap();
+        c.shutdown().unwrap();
+        handle.join();
+        report
+    };
+
+    let a = run(1);
+    let b = run(4);
+    assert_eq!(a.ops, b.ops, "op_limit bounds both runs identically");
+    assert!(!a.sampled_trace_ids.is_empty(), "1-in-4 sampling over 126 ops keeps some");
+    assert_eq!(a.sampled_trace_ids, b.sampled_trace_ids);
+    assert!(!a.slowest.is_empty(), "exemplars recorded");
+    assert!(a.slowest.windows(2).all(|w| w[0].latency_us >= w[1].latency_us));
 }
 
 #[test]

@@ -43,6 +43,14 @@ pub struct GetStats {
     /// Times the plan had to be recomputed because a planned block turned
     /// out corrupt or racily lost.
     pub replans: usize,
+    /// Wall time spent planning the retrieval (all attempts), µs.
+    pub plan_us: u64,
+    /// Wall time spent fetching and checksum-verifying blocks, µs.
+    pub fetch_us: u64,
+    /// Wall time spent in erasure decode (schedule application) and
+    /// payload reassembly, µs — the per-read repair cost a degraded GET
+    /// pays.
+    pub decode_us: u64,
 }
 
 impl GetStats {
@@ -206,14 +214,19 @@ impl ArchivalStore {
         let meta = self.meta(id).ok_or(StoreError::UnknownObject { id })?;
         let mut excluded: Vec<NodeId> = Vec::new();
         let mut replans = 0usize;
+        let mut plan_us = 0u64;
+        let mut fetch_us = 0u64;
         let n = self.graph.num_nodes();
         let (blocks, stats) = 'plan: loop {
+            let plan_start = std::time::Instant::now();
             let available: Vec<NodeId> = self
                 .available_nodes(&meta)
                 .into_iter()
                 .filter(|node| !excluded.contains(node))
                 .collect();
-            let Some(plan) = plan_retrieval(&self.graph, &available) else {
+            let planned = plan_retrieval(&self.graph, &available);
+            plan_us += plan_start.elapsed().as_micros() as u64;
+            let Some(plan) = planned else {
                 // Identify which data blocks are genuinely gone.
                 let missing: Vec<usize> = (0..n as NodeId)
                     .filter(|v| !available.contains(v))
@@ -227,6 +240,7 @@ impl ArchivalStore {
                 });
             };
             // Fetch exactly the planned blocks, verifying each.
+            let fetch_start = std::time::Instant::now();
             let mut blocks: Vec<Option<Vec<u8>>> = vec![None; n];
             for &node in &plan.fetch {
                 match self.read_raw_block(&meta, node) {
@@ -235,19 +249,27 @@ impl ArchivalStore {
                         // Corrupt or lost after planning: exclude, replan.
                         excluded.push(node);
                         replans += 1;
+                        fetch_us += fetch_start.elapsed().as_micros() as u64;
                         continue 'plan;
                     }
                 }
             }
+            fetch_us += fetch_start.elapsed().as_micros() as u64;
+            let decode_start = std::time::Instant::now();
+            let decoded = apply_schedule(&self.graph, blocks, &plan, meta.block_len);
             let stats = GetStats {
                 blocks_fetched: plan.fetch.len(),
                 blocks_recovered: plan.schedule.len(),
                 replans,
+                plan_us,
+                fetch_us,
+                decode_us: decode_start.elapsed().as_micros() as u64,
             };
-            break (apply_schedule(&self.graph, blocks, &plan, meta.block_len), stats);
+            break (decoded, stats);
         };
 
         // Reassemble the framed payload from the data blocks.
+        let reassemble_start = std::time::Instant::now();
         let k = self.graph.num_data();
         let mut framed = Vec::with_capacity(k * meta.block_len);
         for block in blocks.iter().take(k) {
@@ -255,7 +277,10 @@ impl ArchivalStore {
         }
         let len = u64::from_le_bytes(framed[..8].try_into().expect("length header")) as usize;
         debug_assert_eq!(len, meta.size);
-        Ok((framed[8..8 + len].to_vec(), stats))
+        let payload = framed[8..8 + len].to_vec();
+        let mut stats = stats;
+        stats.decode_us += reassemble_start.elapsed().as_micros() as u64;
+        Ok((payload, stats))
     }
 
     /// Deletes an object from all devices.
