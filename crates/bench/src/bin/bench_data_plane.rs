@@ -1,0 +1,141 @@
+//! Measures the data-plane kernel A/B (word-wide vs byte-serial scalar)
+//! at 64 KiB blocks and writes `BENCH_data_plane.json` at the repository
+//! root.
+//!
+//! Five cases: the two kernels in isolation (`xor_into`, `mul_acc`) and
+//! the paths built on them (`encode`, `decode`, `scrub`), each reported
+//! as decimal MB/s for both sides plus the speedup ratio. The headline
+//! floors are kernel-level: `xor_into` must be ≥ 4× and `mul_acc` ≥ 3×
+//! the byte-serial oracle. The end-to-end rows are informational — their
+//! speedups depend on how much non-kernel work (hashing, framing, graph
+//! walks) each path carries.
+//!
+//! Usage: `cargo run --release -p tornado-bench --bin bench_data_plane`.
+//! `--check` verifies the full floors without rewriting the JSON;
+//! `--quick` is the CI smoke: fewer samples, relaxed ≥ 1.0 floors (CI
+//! machines are noisy and sometimes byte-serial-hostile in odd ways),
+//! and the JSON is schema-validated in memory but never written. Debug
+//! builds refuse to write since their numbers are meaningless.
+
+use tornado_bench::experiments::data_plane;
+
+fn main() {
+    let check_only = std::env::args().any(|a| a == "--check");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let block_bytes = 65536usize;
+    let samples = if quick { 3 } else { 9 };
+
+    let r = data_plane::measure(block_bytes, samples);
+
+    println!(
+        "data plane A/B: {} KiB blocks, {} samples/case, {} build",
+        block_bytes / 1024,
+        samples,
+        if cfg!(debug_assertions) { "debug" } else { "release" }
+    );
+    for c in &r.cases {
+        println!(
+            "  {:<9} scalar {:>8.0} MB/s   word-wide {:>8.0} MB/s   speedup {:>5.2}x",
+            c.name,
+            c.scalar_mb_s,
+            c.word_mb_s,
+            c.speedup()
+        );
+    }
+    println!(
+        "  pool: {} hits / {} misses ({:.1}% hit rate)",
+        r.pool_hits,
+        r.pool_misses,
+        r.pool_hit_rate() * 100.0
+    );
+    println!(
+        "  kernel volume: {:.1} MB xored, {:.1} MB muled",
+        r.bytes_xored as f64 / 1e6,
+        r.bytes_muled as f64 / 1e6
+    );
+
+    let (xor_floor, mul_floor) = if quick { (1.0, 1.0) } else { (4.0, 3.0) };
+    let xor = r.case("xor_into").speedup();
+    let mul = r.case("mul_acc").speedup();
+    let target_met = xor >= 4.0 && mul >= 3.0;
+    println!(
+        "  target: xor_into >= 4x and mul_acc >= 3x scalar -> {}",
+        if target_met { "MET" } else { "NOT MET" }
+    );
+
+    // Hand-formatted JSON (the workspace deliberately has no serde); the
+    // parser round-trip below keeps the formatting honest.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"data_plane\",\n");
+    json.push_str("  \"graph\": \"tornado_graph_1 (96 nodes, 48 data)\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if cfg!(debug_assertions) { "debug" } else { "release" }
+    ));
+    json.push_str(&format!("  \"block_bytes\": {block_bytes},\n"));
+    json.push_str(&format!("  \"samples_per_case\": {samples},\n"));
+    json.push_str("  \"units\": \"mb_per_s_decimal\",\n");
+    json.push_str("  \"cases\": [\n");
+    for (i, c) in r.cases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"case\": \"{}\", \"scalar_mb_s\": {:.1}, \"word_mb_s\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            c.name,
+            c.scalar_mb_s,
+            c.word_mb_s,
+            c.speedup(),
+            if i + 1 < r.cases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"pool\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n",
+        r.pool_hits,
+        r.pool_misses,
+        r.pool_hit_rate()
+    ));
+    json.push_str(&format!(
+        "  \"kernel_volume\": {{\"bytes_xored\": {}, \"bytes_muled\": {}}},\n",
+        r.bytes_xored, r.bytes_muled
+    ));
+    json.push_str("  \"target\": \"xor_into >= 4x and mul_acc >= 3x byte-serial scalar\",\n");
+    json.push_str(&format!("  \"target_met\": {target_met}\n"));
+    json.push_str("}\n");
+
+    // Schema self-check: the JSON must parse and carry every field the
+    // docs (EXPERIMENTS.md) and CI rely on.
+    let doc = tornado_obs::json::parse(&json).expect("bench JSON must parse");
+    for field in ["bench", "cases", "pool", "kernel_volume", "target_met"] {
+        assert!(
+            doc.get(field).is_some(),
+            "bench JSON is missing the '{field}' field"
+        );
+    }
+
+    assert!(
+        xor >= xor_floor,
+        "xor_into speedup {xor:.2}x is below the {xor_floor}x floor"
+    );
+    assert!(
+        mul >= mul_floor,
+        "mul_acc speedup {mul:.2}x is below the {mul_floor}x floor"
+    );
+
+    if quick {
+        println!("--quick: kernels faster than scalar and JSON schema valid");
+        return;
+    }
+    if cfg!(debug_assertions) {
+        println!("debug build: numbers are meaningless, not writing JSON");
+        return;
+    }
+    if check_only {
+        println!("--check: floors hold, JSON left untouched");
+        return;
+    }
+
+    // The bin lives two levels below the workspace root.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_data_plane.json");
+    std::fs::write(out, json).expect("write BENCH_data_plane.json");
+    println!("wrote {out}");
+}

@@ -44,6 +44,7 @@ fn main() {
         ("Size sweep (Plank regime)", exp::size_sweep::run),
         ("Federated failure profiles", exp::fed_profile::run),
         ("Serving-layer load test", exp::load_test::run),
+        ("Data-plane kernels", exp::data_plane::run),
     ];
 
     let suite_start = Instant::now();

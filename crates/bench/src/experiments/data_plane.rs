@@ -1,0 +1,317 @@
+//! Data-plane kernel throughput A/B: word-wide vs byte-serial scalar.
+//!
+//! Measures the two kernels in isolation (`xor_into`, `mul_acc`) and the
+//! paths built from them end-to-end (stripe encode, erasure decode, a
+//! scrub pass), each as MB/s with the word-wide kernels against the
+//! byte-serial `scalar` oracle. The end-to-end scalar side is produced by
+//! [`tornado_codec::kernels::set_force_scalar`] — same code, same pools,
+//! same graph, only the inner loops differ.
+//!
+//! The scalar baseline is genuinely one-byte-at-a-time (its loop index is
+//! threaded through `black_box`, so the optimiser cannot vectorise it);
+//! the speedups quantify what the word-wide layout buys over byte-serial
+//! execution, not over whatever autovectorisation would have rescued.
+
+use crate::effort::Effort;
+use std::fmt::Write as _;
+use std::time::Instant;
+use tornado_codec::gf256::Gf256;
+use tornado_codec::{kernels, pool, Codec};
+use tornado_store::ArchivalStore;
+
+/// One measured A/B case.
+#[derive(Clone, Copy, Debug)]
+pub struct Case {
+    /// Case label (stable across the JSON schema and EXPERIMENTS.md).
+    pub name: &'static str,
+    /// Byte-serial oracle throughput, decimal MB/s.
+    pub scalar_mb_s: f64,
+    /// Word-wide kernel throughput, decimal MB/s.
+    pub word_mb_s: f64,
+}
+
+impl Case {
+    /// Word-wide over scalar ratio.
+    pub fn speedup(&self) -> f64 {
+        self.word_mb_s / self.scalar_mb_s
+    }
+}
+
+/// A full data-plane measurement.
+pub struct DataPlaneReport {
+    /// Block size measured, bytes.
+    pub block_bytes: usize,
+    /// Timed samples per case side (median taken).
+    pub samples: usize,
+    /// Kernel and end-to-end cases, in fixed order:
+    /// `xor_into`, `mul_acc`, `encode`, `decode`, `scrub`.
+    pub cases: Vec<Case>,
+    /// Block-pool hits during the measurement.
+    pub pool_hits: u64,
+    /// Block-pool misses during the measurement.
+    pub pool_misses: u64,
+    /// Bytes through the XOR kernel during the measurement.
+    pub bytes_xored: u64,
+    /// Bytes through the GF multiply kernel during the measurement.
+    pub bytes_muled: u64,
+}
+
+impl DataPlaneReport {
+    /// Looks a case up by name.
+    pub fn case(&self, name: &str) -> &Case {
+        self.cases
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("no case {name}"))
+    }
+
+    /// Pool hit fraction over the measurement window.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Median ns per inner iteration of `f` (which must run `batch` iterations
+/// per call), over `samples` timed calls after one warmup call.
+fn median_ns(batch: u64, samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup: touch caches, fault pages, warm the pools
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    per_iter[per_iter.len() / 2]
+}
+
+/// Decimal MB/s for `bytes` processed in `ns` nanoseconds.
+fn mb_s(bytes: usize, ns: f64) -> f64 {
+    bytes as f64 / ns * 1000.0
+}
+
+fn pattern(len: usize, salt: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt))
+        .collect()
+}
+
+/// Runs the whole A/B at one block size. `samples` timed calls per side;
+/// medians reported.
+pub fn measure(block_bytes: usize, samples: usize) -> DataPlaneReport {
+    let pool0 = (
+        pool::metrics().hits.get(),
+        pool::metrics().misses.get(),
+    );
+    let kern0 = (
+        kernels::metrics().bytes_xored.get(),
+        kernels::metrics().bytes_muled.get(),
+    );
+    let mut cases = Vec::new();
+
+    // Kernel-level: xor_into. The word side is measured through the public
+    // dispatch (what the data plane actually calls); the scalar side calls
+    // the oracle directly.
+    let word_batch = ((4 << 20) / block_bytes.max(1)).clamp(1, 4096) as u64;
+    let scalar_batch = ((1 << 20) / block_bytes.max(1)).clamp(1, 1024) as u64;
+    let src = pattern(block_bytes, 3);
+    let mut dst = pattern(block_bytes, 7);
+    let word_ns = median_ns(word_batch, samples, || {
+        for _ in 0..word_batch {
+            kernels::xor_into(std::hint::black_box(&mut dst), std::hint::black_box(&src));
+        }
+    });
+    let scalar_ns = median_ns(scalar_batch, samples, || {
+        for _ in 0..scalar_batch {
+            kernels::scalar::xor_into(std::hint::black_box(&mut dst), std::hint::black_box(&src));
+        }
+    });
+    cases.push(Case {
+        name: "xor_into",
+        scalar_mb_s: mb_s(block_bytes, scalar_ns),
+        word_mb_s: mb_s(block_bytes, word_ns),
+    });
+
+    // Kernel-level: mul_acc with a non-trivial coefficient (table build
+    // included on both sides, amortised over the block).
+    let field = Gf256::new();
+    let word_ns = median_ns(word_batch, samples, || {
+        for _ in 0..word_batch {
+            kernels::mul_acc(
+                &field,
+                std::hint::black_box(&mut dst),
+                std::hint::black_box(&src),
+                0x53,
+            );
+        }
+    });
+    let scalar_ns = median_ns(scalar_batch, samples, || {
+        for _ in 0..scalar_batch {
+            kernels::scalar::mul_acc(
+                &field,
+                std::hint::black_box(&mut dst),
+                std::hint::black_box(&src),
+                0x53,
+            );
+        }
+    });
+    cases.push(Case {
+        name: "mul_acc",
+        scalar_mb_s: mb_s(block_bytes, scalar_ns),
+        word_mb_s: mb_s(block_bytes, word_ns),
+    });
+
+    // End-to-end A/B through the force_scalar switch: identical code and
+    // pooling on both sides, only the kernel dispatch differs.
+    let graph = tornado_core::tornado_graph_1();
+    let codec = Codec::new(&graph);
+    let k = graph.num_data();
+    let data: Vec<Vec<u8>> = (0..k).map(|i| pattern(block_bytes, i as u8)).collect();
+    let data_bytes = k * block_bytes;
+
+    let mut encode_once = || {
+        let input: Vec<Vec<u8>> =
+            pool::with_thread_pool(|p| data.iter().map(|b| p.take_copy(b)).collect());
+        let mut out = codec.encode_owned(input).expect("encode");
+        pool::with_thread_pool(|p| {
+            for b in out.drain(..) {
+                p.recycle(b);
+            }
+        });
+    };
+    let ab = |f: &mut dyn FnMut()| {
+        let word_ns = median_ns(1, samples, &mut *f);
+        kernels::set_force_scalar(true);
+        let scalar_ns = median_ns(1, samples, &mut *f);
+        kernels::set_force_scalar(false);
+        (scalar_ns, word_ns)
+    };
+    let (scalar_ns, word_ns) = ab(&mut encode_once);
+    cases.push(Case {
+        name: "encode",
+        scalar_mb_s: mb_s(data_bytes, scalar_ns),
+        word_mb_s: mb_s(data_bytes, word_ns),
+    });
+
+    // Decode: four data blocks erased, recovered by the peeling schedule.
+    let blocks = codec.encode(&data).expect("encode");
+    let erased = [0usize, 7, 19, 33];
+    let mut stored: Vec<Option<Vec<u8>>> = blocks.into_iter().map(Some).collect();
+    let mut decode_once = || {
+        pool::with_thread_pool(|p| {
+            for &e in &erased {
+                if let Some(b) = stored[e].take() {
+                    p.recycle(b);
+                }
+            }
+        });
+        let report = codec.decode(&mut stored).expect("decode");
+        assert!(report.complete());
+    };
+    let (scalar_ns, word_ns) = ab(&mut decode_once);
+    cases.push(Case {
+        name: "decode",
+        scalar_mb_s: mb_s(erased.len() * block_bytes, scalar_ns),
+        word_mb_s: mb_s(erased.len() * block_bytes, word_ns),
+    });
+
+    // Scrub: a small store with one failed device; every pass reads every
+    // stripe and decodes the missing block (no repair, so each pass does
+    // identical work).
+    let store = ArchivalStore::new(tornado_core::tornado_graph_1());
+    let objects = 2usize;
+    let payload = vec![0xA5u8; k * block_bytes - 8];
+    for i in 0..objects {
+        store.put(&format!("bench-{i}"), &payload).expect("put");
+    }
+    store.fail_device(3).expect("fail");
+    let n = graph.num_nodes();
+    let mut scrub_once = || {
+        let out = tornado_store::scrubber::scrub(&store, 5, false);
+        assert_eq!(out.degraded_count(), objects);
+    };
+    let (scalar_ns, word_ns) = ab(&mut scrub_once);
+    let scrub_bytes = objects * (n - 1) * block_bytes;
+    cases.push(Case {
+        name: "scrub",
+        scalar_mb_s: mb_s(scrub_bytes, scalar_ns),
+        word_mb_s: mb_s(scrub_bytes, word_ns),
+    });
+
+    DataPlaneReport {
+        block_bytes,
+        samples,
+        cases,
+        pool_hits: pool::metrics().hits.get() - pool0.0,
+        pool_misses: pool::metrics().misses.get() - pool0.1,
+        bytes_xored: kernels::metrics().bytes_xored.get() - kern0.0,
+        bytes_muled: kernels::metrics().bytes_muled.get() - kern0.1,
+    }
+}
+
+/// Runs the A/B and formats the throughput table.
+pub fn run(effort: &Effort) -> String {
+    // Smoke efforts shrink the block so harness tests stay fast; the
+    // committed numbers come from the release-mode bench bin at 64 KiB.
+    let smoke = effort.mc_trials < 1_000;
+    let (block_bytes, samples) = if smoke { (4096, 3) } else { (65536, 7) };
+    let r = measure(block_bytes, samples);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Data-plane kernels — word-wide vs byte-serial scalar, {} KiB blocks, MB/s (decimal)",
+        r.block_bytes / 1024
+    );
+    let _ = writeln!(out, "case, scalar_mb_s, word_mb_s, speedup");
+    for c in &r.cases {
+        let _ = writeln!(
+            out,
+            "{}, {:.0}, {:.0}, {:.2}",
+            c.name, c.scalar_mb_s, c.word_mb_s, c.speedup()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "pool: {} hits / {} misses ({:.1}% hit rate); kernel volume: {:.1} MB xored, {:.1} MB muled",
+        r.pool_hits,
+        r.pool_misses,
+        r.pool_hit_rate() * 100.0,
+        r.bytes_xored as f64 / 1e6,
+        r.bytes_muled as f64 / 1e6,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_has_all_cases_and_sane_numbers() {
+        let r = measure(512, 1);
+        assert_eq!(r.block_bytes, 512);
+        for name in ["xor_into", "mul_acc", "encode", "decode", "scrub"] {
+            let c = r.case(name);
+            assert!(c.scalar_mb_s > 0.0, "{name} scalar");
+            assert!(c.word_mb_s > 0.0, "{name} word");
+        }
+        assert!(r.pool_hits + r.pool_misses > 0, "pools were exercised");
+        assert!(r.bytes_xored > 0);
+        assert!(r.bytes_muled > 0);
+    }
+
+    #[test]
+    fn run_formats_every_row() {
+        let report = run(&Effort::smoke());
+        for name in ["xor_into,", "mul_acc,", "encode,", "decode,", "scrub,"] {
+            assert!(report.contains(name), "missing row {name}:\n{report}");
+        }
+        assert!(report.contains("hit rate"));
+    }
+}

@@ -1,6 +1,7 @@
 //! One module per paper artefact. Every `run` takes an [`crate::Effort`]
 //! and returns the finished report text (also suitable for EXPERIMENTS.md).
 
+pub mod data_plane;
 pub mod degree_sweep;
 pub mod eq1;
 pub mod fed_profile;

@@ -250,6 +250,8 @@ pub fn scrub(args: &ParsedArgs) -> CmdResult {
     let objects: usize = args.get_parsed("objects", 8)?;
     let level: usize = args.get_parsed("level", 5)?;
     let repair = args.flag("repair");
+    // `--threads 0` means automatic; 1 (the default) scrubs serially.
+    let threads: usize = args.get_parsed("threads", 1)?;
     let store = tornado_store::ArchivalStore::new(graph);
     for i in 0..objects {
         let payload = vec![(i % 251) as u8; 4096];
@@ -270,7 +272,8 @@ pub fn scrub(args: &ParsedArgs) -> CmdResult {
         store.replace_device(d).map_err(|e| e.to_string())?;
     }
     let store_obs = obs.store_observer();
-    let outcome = tornado_store::scrubber::scrub_observed(&store, level, repair, &store_obs);
+    let outcome =
+        tornado_store::scrubber::scrub_cycle_observed(&store, level, repair, threads, &store_obs);
     println!("stripes scanned:     {}", outcome.stripes.len());
     println!("degraded stripes:    {}", outcome.degraded_count());
     println!("urgent stripes:      {}", outcome.urgent_count());

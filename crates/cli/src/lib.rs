@@ -31,7 +31,8 @@ COMMANDS:
     profile      Alias for monte-carlo              (same options)
     scrub        Fail devices, scrub, report health  --graph FILE | --catalog 1|2|3
                                                      [--objects 8] [--level 5] [--repair]
-                                                     [--fail DEV]... [--replace DEV]...
+                                                     [--threads 1] [--fail DEV]...
+                                                     [--replace DEV]...
     validate-metrics  Validate a metrics snapshot    --file FILE
     adjust       Feedback adjustment (§3.3)         --graph FILE [--target 5] [--out FILE]
     reliability  Table 5 reliability comparison     [--graph FILE]... [--afr 0.01] [--trials 20000]

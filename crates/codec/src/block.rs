@@ -2,18 +2,11 @@
 
 use crate::erasure::{ErasureDecoder, RecoveryStep};
 use crate::error::CodecError;
+use crate::kernels::xor_into;
+use crate::metrics::DecodeMetrics;
+use crate::pool;
+use rayon::prelude::*;
 use tornado_graph::{Graph, NodeId};
-
-/// XORs `src` into `dst` (equal lengths).
-#[inline]
-fn xor_into(dst: &mut [u8], src: &[u8]) {
-    debug_assert_eq!(dst.len(), src.len());
-    // The compiler auto-vectorises this loop; block sizes are multiples of
-    // nothing in particular, so stay portable.
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= s;
-    }
-}
 
 /// Outcome of a block decode.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -54,6 +47,13 @@ impl<'g> Codec<'g> {
     /// Encodes `num_data` equal-length data blocks into `num_nodes` stored
     /// blocks (the data blocks followed by the computed check blocks).
     pub fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodecError> {
+        self.encode_owned(data.to_vec())
+    }
+
+    /// Like [`Codec::encode`], but takes ownership of the data blocks so
+    /// they become the stored blocks without a per-block clone. Check-block
+    /// accumulators come from the calling thread's [`pool::BlockPool`].
+    pub fn encode_owned(&self, data: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, CodecError> {
         let k = self.graph.num_data();
         if data.len() != k {
             return Err(CodecError::WrongBlockCount {
@@ -71,12 +71,12 @@ impl<'g> Codec<'g> {
                 });
             }
         }
-        let mut blocks: Vec<Vec<u8>> = Vec::with_capacity(self.graph.num_nodes());
-        blocks.extend(data.iter().cloned());
+        let mut blocks = data;
+        blocks.reserve(self.graph.num_nodes() - k);
         // Forward sweep: every left neighbour has a smaller id, so it is
         // already materialised when its check is computed.
         for check in self.graph.check_ids() {
-            let mut acc = vec![0u8; block_len];
+            let mut acc = pool::with_thread_pool(|p| p.take_zeroed(block_len));
             for &n in self.graph.check_neighbors(check) {
                 xor_into(&mut acc, &blocks[n as usize]);
             }
@@ -85,11 +85,47 @@ impl<'g> Codec<'g> {
         Ok(blocks)
     }
 
+    /// Encodes many stripes, fanning the per-stripe work out across worker
+    /// threads (each with its own [`pool::BlockPool`]). Output order matches
+    /// input order and every stripe's bytes are identical to a serial
+    /// [`Codec::encode_owned`] — parallelism never changes the coding.
+    pub fn encode_stripes(
+        &self,
+        stripes: Vec<Vec<Vec<u8>>>,
+    ) -> Result<Vec<Vec<Vec<u8>>>, CodecError> {
+        stripes
+            .into_par_iter()
+            .map(|stripe| self.encode_owned(stripe))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect()
+    }
+
     /// Decodes a stripe in place: `stored[i]` is `Some(block)` if node `i`'s
     /// block is available, `None` if erased. Recoverable blocks (data *and*
     /// check) are filled in; the report lists what was recovered and what
     /// stayed lost.
     pub fn decode(&self, stored: &mut [Option<Vec<u8>>]) -> Result<DecodeReport, CodecError> {
+        self.decode_inner(stored, None)
+    }
+
+    /// Like [`Codec::decode`], but drains the peeling kernel's
+    /// instrumentation cells into `metrics` when done. Each call uses its
+    /// own decoder, so concurrent callers (rayon scrub workers) record
+    /// independently and the sharded aggregate is order-independent.
+    pub fn decode_recorded(
+        &self,
+        stored: &mut [Option<Vec<u8>>],
+        metrics: &DecodeMetrics,
+    ) -> Result<DecodeReport, CodecError> {
+        self.decode_inner(stored, Some(metrics))
+    }
+
+    fn decode_inner(
+        &self,
+        stored: &mut [Option<Vec<u8>>],
+        metrics: Option<&DecodeMetrics>,
+    ) -> Result<DecodeReport, CodecError> {
         let n = self.graph.num_nodes();
         if stored.len() != n {
             return Err(CodecError::WrongStripeWidth {
@@ -115,16 +151,23 @@ impl<'g> Codec<'g> {
 
         let missing: Vec<usize> = (0..n).filter(|&i| stored[i].is_none()).collect();
         let mut dec = ErasureDecoder::new(self.graph);
+        if metrics.is_some() {
+            dec.set_recording(true);
+        }
         let detail = dec.decode_detailed(&missing);
+        if let Some(m) = metrics {
+            m.absorb(&dec.take_cells());
+        }
 
         let mut recovered = Vec::with_capacity(detail.schedule.len());
         for step in &detail.schedule {
             match *step {
                 RecoveryStep::Peel { node, via } => {
                     // node = via ⊕ (other left neighbours of via)
-                    let mut acc = stored[via as usize]
-                        .clone()
+                    let via_block = stored[via as usize]
+                        .as_deref()
                         .expect("schedule guarantees via is present");
+                    let mut acc = pool::with_thread_pool(|p| p.take_copy(via_block));
                     for &nbr in self.graph.check_neighbors(via) {
                         if nbr != node {
                             let b = stored[nbr as usize]
@@ -137,7 +180,7 @@ impl<'g> Codec<'g> {
                     recovered.push(node);
                 }
                 RecoveryStep::Reencode { node } => {
-                    let mut acc = vec![0u8; block_len];
+                    let mut acc = pool::with_thread_pool(|p| p.take_zeroed(block_len));
                     for &nbr in self.graph.check_neighbors(node) {
                         let b = stored[nbr as usize]
                             .as_ref()
@@ -168,16 +211,17 @@ impl<'g> Codec<'g> {
         }
         let block_len = blocks.first().map(|b| b.len()).unwrap_or(0);
         let mut bad = Vec::new();
-        let mut acc = vec![0u8; block_len];
+        let mut acc = pool::with_thread_pool(|p| p.take_zeroed(block_len));
         for check in self.graph.check_ids() {
             acc.fill(0);
             for &nbr in self.graph.check_neighbors(check) {
                 xor_into(&mut acc, &blocks[nbr as usize]);
             }
-            if acc != blocks[check as usize] {
+            if acc[..] != blocks[check as usize][..] {
                 bad.push(check);
             }
         }
+        pool::with_thread_pool(|p| p.recycle(acc));
         Ok(bad)
     }
 }
@@ -213,23 +257,35 @@ pub struct EncodedStripe {
 const LEN_HEADER: usize = 8;
 
 impl EncodedStripe {
-    /// Encodes `payload` into a stripe for `codec`'s graph.
+    /// Encodes `payload` into a stripe for `codec`'s graph. The framing
+    /// scratch and data blocks come from the calling thread's
+    /// [`pool::BlockPool`], so a warm worker encodes without block mallocs.
     pub fn from_object(codec: &Codec<'_>, payload: &[u8]) -> Result<Self, CodecError> {
         let k = codec.graph().num_data();
         let framed_len = payload.len() + LEN_HEADER;
         let block_len = framed_len.div_ceil(k).max(1);
-        let mut framed = Vec::with_capacity(block_len * k);
-        framed.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        framed.extend_from_slice(payload);
-        framed.resize(block_len * k, 0);
-        let data: Vec<Vec<u8>> = framed.chunks(block_len).map(|c| c.to_vec()).collect();
-        let blocks = codec.encode(&data)?;
+        let (framed, data) = pool::with_thread_pool(|p| {
+            // take_zeroed gives zero padding past the payload for free.
+            let mut framed = p.take_zeroed(block_len * k);
+            framed[..LEN_HEADER].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+            framed[LEN_HEADER..LEN_HEADER + payload.len()].copy_from_slice(payload);
+            let data: Vec<Vec<u8>> = framed.chunks(block_len).map(|c| p.take_copy(c)).collect();
+            (framed, data)
+        });
+        let blocks = codec.encode_owned(data)?;
+        pool::with_thread_pool(|p| p.recycle(framed));
         Ok(Self { blocks, block_len })
     }
 
     /// The stored blocks, one per graph node.
     pub fn blocks(&self) -> &[Vec<u8>] {
         &self.blocks
+    }
+
+    /// Consumes the stripe and hands the stored blocks over — the move that
+    /// lets a store place encoded blocks on devices without cloning them.
+    pub fn into_blocks(self) -> Vec<Vec<u8>> {
+        self.blocks
     }
 
     /// Per-block length in bytes.
@@ -418,6 +474,60 @@ mod tests {
         stored[0] = None;
         stored[1] = None;
         assert_eq!(EncodedStripe::recover_object(&c, &mut stored).unwrap(), None);
+    }
+
+    #[test]
+    fn encode_owned_matches_encode() {
+        let g = cascade();
+        let c = Codec::new(&g);
+        let data = sample_data(16);
+        let by_ref = c.encode(&data).unwrap();
+        let by_move = c.encode_owned(data).unwrap();
+        assert_eq!(by_ref, by_move);
+    }
+
+    #[test]
+    fn encode_stripes_is_bit_identical_to_serial() {
+        let g = cascade();
+        let c = Codec::new(&g);
+        let stripes: Vec<Vec<Vec<u8>>> = (0..9u8)
+            .map(|s| (0..4u8).map(|i| vec![s.wrapping_mul(31) ^ i; 24]).collect())
+            .collect();
+        let serial: Vec<_> = stripes.iter().map(|st| c.encode(st).unwrap()).collect();
+        let parallel = c.encode_stripes(stripes).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn encode_stripes_surfaces_shape_errors() {
+        let g = cascade();
+        let c = Codec::new(&g);
+        let stripes = vec![sample_data(8), sample_data(8)[..3].to_vec()];
+        assert!(c.encode_stripes(stripes).is_err());
+    }
+
+    #[test]
+    fn into_blocks_hands_over_the_stored_blocks() {
+        let g = cascade();
+        let c = Codec::new(&g);
+        let stripe = EncodedStripe::from_object(&c, b"move me").unwrap();
+        let expected = stripe.blocks().to_vec();
+        assert_eq!(stripe.into_blocks(), expected);
+    }
+
+    #[test]
+    fn decode_recorded_drains_kernel_cells() {
+        use crate::metrics::{cells, DecodeMetrics};
+        let g = cascade();
+        let c = Codec::new(&g);
+        let blocks = c.encode(&sample_data(32)).unwrap();
+        let mut stored: Vec<Option<Vec<u8>>> = blocks.into_iter().map(Some).collect();
+        stored[0] = None;
+        let m = DecodeMetrics::new();
+        let report = c.decode_recorded(&mut stored, &m).unwrap();
+        assert!(report.complete());
+        assert_eq!(m.get(cells::TRIALS), 1);
+        assert!(m.get(cells::RECOVERIES) >= 1);
     }
 
     #[test]

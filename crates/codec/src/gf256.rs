@@ -81,24 +81,13 @@ impl Gf256 {
 
     /// Multiplies `src` by scalar `c` and XORs into `dst` (the RS encode
     /// inner loop).
+    ///
+    /// Trivial coefficients are peeled off before table dispatch: `c == 0`
+    /// skips entirely, `c == 1` is a plain word-wide XOR, and everything
+    /// else runs the nibble-table kernel ([`crate::kernels::mul_acc`]).
     #[inline]
     pub fn mul_acc(&self, dst: &mut [u8], src: &[u8], c: u8) {
-        debug_assert_eq!(dst.len(), src.len());
-        if c == 0 {
-            return;
-        }
-        if c == 1 {
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d ^= s;
-            }
-            return;
-        }
-        let lc = self.log[c as usize] as usize;
-        for (d, s) in dst.iter_mut().zip(src) {
-            if *s != 0 {
-                *d ^= self.exp[lc + self.log[*s as usize] as usize];
-            }
-        }
+        crate::kernels::mul_acc(self, dst, src, c);
     }
 }
 

@@ -1,0 +1,388 @@
+//! Word-wide data-plane kernels: the XOR and GF(256) inner loops every
+//! byte of every stripe passes through.
+//!
+//! The paper's case for Tornado Codes is that the data path is "a sequence
+//! of XOR operations" — cheap enough that coding throughput tracks the
+//! hardware, not the arithmetic. This module makes that true in practice:
+//!
+//! * [`xor_into`] — `dst ^= src` processed a `u64` word at a time, with an
+//!   aligned head/body/tail split so the body runs over whole words that
+//!   the compiler auto-vectorises. No `unsafe`: word loads go through
+//!   `u64::from_ne_bytes` on 8-byte chunks, which compiles to single
+//!   (possibly unaligned) loads on every target this workspace cares
+//!   about.
+//! * [`MulTable`] / [`mul_acc`] — `dst ^= c · src` over GF(2⁸). The word
+//!   body is a bit-decomposition SWAR multiply: eight field elements ride
+//!   in one `u64`, and `c·b = ⊕ᵢ bitᵢ(b)·(c·xⁱ)` turns the field multiply
+//!   into eight independent shift/mask/multiply/XOR terms over precomputed
+//!   basis products — no table loads and no serial doubling chain in the
+//!   loop, so the terms pipeline across execution units. Odd tail bytes
+//!   and single-byte multiplies go through two 16-entry nibble tables per
+//!   coefficient (`c·b = lo[b & 0xF] ⊕ hi[b >> 4]`), where the
+//!   log/antilog path would chase two dependent loads through 768 bytes
+//!   of tables per byte.
+//! * [`scalar`] — the pre-existing byte-serial loops, kept verbatim as the
+//!   parity oracle for the property suite and as the benchmark baseline.
+//!
+//! Dispatch honours [`set_force_scalar`], a process-wide switch the A/B
+//! benchmarks and parity tests use to route the whole data plane (encode,
+//! decode, scrub) through the byte-serial oracle without code changes.
+//!
+//! Volume counters: every dispatch bumps the process-wide
+//! `kernel.bytes_xored` / `kernel.bytes_muled` totals (sharded relaxed
+//! atomics, one `add` per *call*, not per byte) — surfaced by the server's
+//! METRICS op so load snapshots show data-plane volume.
+
+use crate::gf256::Gf256;
+use std::sync::atomic::{AtomicBool, Ordering};
+use tornado_obs::Counter;
+
+/// Kernel word width in bytes.
+const WORD: usize = 8;
+
+/// Process-wide data-plane volume counters (see [`metrics`]).
+pub struct KernelMetrics {
+    /// Bytes processed by [`xor_into`] (either path), cumulative.
+    pub bytes_xored: Counter,
+    /// Bytes processed by [`mul_acc`] / [`MulTable::mul_acc`] with a
+    /// non-trivial coefficient (either path), cumulative.
+    pub bytes_muled: Counter,
+}
+
+static METRICS: KernelMetrics = KernelMetrics {
+    bytes_xored: Counter::new(),
+    bytes_muled: Counter::new(),
+};
+
+/// The process-wide kernel volume counters.
+pub fn metrics() -> &'static KernelMetrics {
+    &METRICS
+}
+
+/// When set, every kernel dispatch takes the byte-serial [`scalar`] path.
+/// One relaxed load per call; used by the A/B benchmarks and the parity
+/// suite to drive the *whole* data plane through the oracle.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Routes all kernel dispatches through the byte-serial oracle (`true`)
+/// or the word-wide kernels (`false`, the default).
+pub fn set_force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::Relaxed);
+}
+
+/// Whether kernel dispatches are currently forced onto the scalar path.
+pub fn force_scalar() -> bool {
+    FORCE_SCALAR.load(Ordering::Relaxed)
+}
+
+/// XORs `src` into `dst` a word at a time.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn xor_into(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_into requires equal lengths");
+    METRICS.bytes_xored.add(dst.len() as u64);
+    if force_scalar() {
+        scalar::xor_into(dst, src);
+    } else {
+        xor_into_words(dst, src);
+    }
+}
+
+/// The word-wide XOR body: scalar head up to `dst`'s word boundary, a
+/// `u64` body the compiler is free to widen further, scalar tail.
+fn xor_into_words(dst: &mut [u8], src: &[u8]) {
+    let head = dst.as_ptr().align_offset(WORD).min(dst.len());
+    let (dst_head, dst_rest) = dst.split_at_mut(head);
+    let (src_head, src_rest) = src.split_at(head);
+    for (d, s) in dst_head.iter_mut().zip(src_head) {
+        *d ^= s;
+    }
+    // Body: dst chunks are word-aligned; src may not be, but
+    // `from_ne_bytes` on a byte chunk is a plain (unaligned-capable) load.
+    let mut src_words = src_rest.chunks_exact(WORD);
+    for (d, s) in dst_rest.chunks_exact_mut(WORD).zip(&mut src_words) {
+        let w = u64::from_ne_bytes(d[..WORD].try_into().expect("word chunk"))
+            ^ u64::from_ne_bytes(s.try_into().expect("word chunk"));
+        d.copy_from_slice(&w.to_ne_bytes());
+    }
+    let tail_start = dst_rest.len() - dst_rest.len() % WORD;
+    for (d, s) in dst_rest[tail_start..]
+        .iter_mut()
+        .zip(&src_rest[tail_start..])
+    {
+        *d ^= s;
+    }
+}
+
+/// Per-coefficient nibble multiplication tables: `c·b` for any byte `b` is
+/// `lo[b & 0xF] ⊕ hi[b >> 4]`, by distributivity of the field multiply
+/// over the XOR decomposition `b = (b & 0xF) ⊕ (b & 0xF0)`.
+#[derive(Clone, Copy, Debug)]
+pub struct MulTable {
+    /// The coefficient the tables encode.
+    c: u8,
+    /// `lo[n] = c · n` for the low nibble.
+    lo: [u8; 16],
+    /// `hi[n] = c · (n << 4)` for the high nibble.
+    hi: [u8; 16],
+    /// `bits[i] = c · xⁱ` (the product of `c` with each basis element)
+    /// broadcast to every byte lane, for the SWAR body:
+    /// `c·b = ⊕ᵢ bitᵢ(b) · (c·xⁱ)`.
+    bits: [u64; 8],
+}
+
+impl MulTable {
+    /// Builds the table set for coefficient `c` (40 field multiplies;
+    /// amortised over the block the tables are applied to).
+    pub fn new(field: &Gf256, c: u8) -> Self {
+        let mut lo = [0u8; 16];
+        let mut hi = [0u8; 16];
+        for n in 0..16u8 {
+            lo[n as usize] = field.mul(c, n);
+            hi[n as usize] = field.mul(c, n << 4);
+        }
+        let mut bits = [0u64; 8];
+        for (i, b) in bits.iter_mut().enumerate() {
+            *b = field.mul(c, 1 << i) as u64 * LANE_LSB;
+        }
+        Self { c, lo, hi, bits }
+    }
+
+    /// The coefficient this table multiplies by.
+    pub fn coefficient(&self) -> u8 {
+        self.c
+    }
+
+    /// Multiplies one byte through the tables.
+    #[inline]
+    pub fn mul(&self, b: u8) -> u8 {
+        self.lo[(b & 0x0F) as usize] ^ self.hi[(b >> 4) as usize]
+    }
+
+    /// `dst ^= c · src`, eight bytes per step.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn mul_acc(&self, dst: &mut [u8], src: &[u8]) {
+        assert_eq!(dst.len(), src.len(), "mul_acc requires equal lengths");
+        METRICS.bytes_muled.add(dst.len() as u64);
+        if force_scalar() {
+            scalar::mul_table_acc(self, dst, src);
+        } else {
+            self.mul_acc_words(dst, src);
+        }
+    }
+
+    /// The word-wide body: eight field elements per `u64`, multiplied by
+    /// `c` with the bit-decomposition SWAR in [`Self::mul8`], XORed into
+    /// `dst` with a single store per word. Tail bytes go through the
+    /// nibble tables.
+    fn mul_acc_words(&self, dst: &mut [u8], src: &[u8]) {
+        let mut src_words = src.chunks_exact(WORD);
+        for (d, s) in dst.chunks_exact_mut(WORD).zip(&mut src_words) {
+            let sw = u64::from_ne_bytes(s.try_into().expect("word chunk"));
+            let w = u64::from_ne_bytes(d[..WORD].try_into().expect("word chunk")) ^ self.mul8(sw);
+            d.copy_from_slice(&w.to_ne_bytes());
+        }
+        let tail_start = dst.len() - dst.len() % WORD;
+        for (d, &s) in dst[tail_start..].iter_mut().zip(&src[tail_start..]) {
+            *d ^= self.mul(s);
+        }
+    }
+
+    /// Multiplies all eight GF(2⁸) lanes of `w` by the coefficient via bit
+    /// decomposition: `c·b = ⊕ᵢ bitᵢ(b)·(c·xⁱ)` by distributivity. Each
+    /// term isolates bit `i` of every lane (a 0-or-1 byte per lane),
+    /// stretches it to a 0x00/0xFF lane mask with `(m << 8) - m` (which is
+    /// exactly `m · 255` — each lane's product stays inside the lane, and
+    /// the subtraction's only borrow beyond lane 7 falls off the top of
+    /// the word), and ANDs the mask with the pre-broadcast basis product
+    /// `c·xⁱ`. Eight independent shift/and/sub/and/XOR terms — no loads,
+    /// no serial chain, no integer multiply — every op has a packed SIMD
+    /// equivalent, so the unrolled word loop auto-vectorises.
+    #[inline]
+    fn mul8(&self, w: u64) -> u64 {
+        let mut acc = 0u64;
+        for (i, &k) in self.bits.iter().enumerate() {
+            let bits = (w >> i) & LANE_LSB;
+            let mask = (bits << 8).wrapping_sub(bits);
+            acc ^= mask & k;
+        }
+        acc
+    }
+}
+
+/// The low bit of each byte lane, for the SWAR bit extraction.
+const LANE_LSB: u64 = 0x0101_0101_0101_0101;
+
+/// `dst ^= c · src` with the trivial coefficients peeled off before table
+/// dispatch: `c == 0` is a no-op, `c == 1` is a plain [`xor_into`], and
+/// everything else builds a [`MulTable`] and runs the nibble kernel.
+///
+/// Callers applying the same coefficient to many blocks should build the
+/// [`MulTable`] once and call [`MulTable::mul_acc`] directly.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn mul_acc(field: &Gf256, dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "mul_acc requires equal lengths");
+    match c {
+        0 => {}
+        1 => xor_into(dst, src),
+        _ => MulTable::new(field, c).mul_acc(dst, src),
+    }
+}
+
+/// Byte-serial reference kernels: the loops the data plane ran before the
+/// word-wide rewrite, kept bit-for-bit as the parity oracle and the
+/// benchmark baseline.
+///
+/// The loop index is threaded through [`std::hint::black_box`] so the
+/// optimiser can neither vectorise nor unroll these — they measure (and
+/// model) genuine one-byte-at-a-time execution, which is the cost model
+/// the word-wide kernels are benchmarked against.
+pub mod scalar {
+    use super::MulTable;
+    use crate::gf256::Gf256;
+    use std::hint::black_box;
+
+    /// Byte-serial `dst ^= src`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn xor_into(dst: &mut [u8], src: &[u8]) {
+        assert_eq!(dst.len(), src.len(), "xor_into requires equal lengths");
+        let mut i = 0usize;
+        while i < dst.len() {
+            dst[i] ^= src[i];
+            i += black_box(1);
+        }
+    }
+
+    /// Byte-serial `dst ^= c · src` through the log/antilog tables — the
+    /// original `Gf256::mul_acc` inner loop.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ, or if `c == 0` (callers peel the
+    /// trivial coefficients before dispatch).
+    pub fn mul_acc(field: &Gf256, dst: &mut [u8], src: &[u8], c: u8) {
+        assert_eq!(dst.len(), src.len(), "mul_acc requires equal lengths");
+        assert_ne!(c, 0, "c == 0 is peeled off before dispatch");
+        let mut i = 0usize;
+        while i < dst.len() {
+            dst[i] ^= field.mul(c, src[i]);
+            i += black_box(1);
+        }
+    }
+
+    /// Byte-serial application of a prebuilt [`MulTable`] (same tables,
+    /// no word assembly) — isolates the word-wide layout's contribution
+    /// from the table layout's.
+    pub(super) fn mul_table_acc(table: &MulTable, dst: &mut [u8], src: &[u8]) {
+        let mut i = 0usize;
+        while i < dst.len() {
+            dst[i] ^= table.mul(src[i]);
+            i += black_box(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(len: usize, salt: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt))
+            .collect()
+    }
+
+    #[test]
+    fn xor_matches_scalar_across_lengths_and_offsets() {
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 255, 256, 257] {
+            for offset in 0..4usize {
+                let src_full = pattern(len + offset, 3);
+                let mut word = pattern(len + offset, 7);
+                let mut byte = word.clone();
+                xor_into(&mut word[offset..], &src_full[offset..]);
+                scalar::xor_into(&mut byte[offset..], &src_full[offset..]);
+                assert_eq!(word, byte, "len {len} offset {offset}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_table_agrees_with_field_multiply() {
+        let f = Gf256::new();
+        for c in 0..=255u8 {
+            let t = MulTable::new(&f, c);
+            assert_eq!(t.coefficient(), c);
+            for b in 0..=255u8 {
+                assert_eq!(t.mul(b), f.mul(c, b), "{c} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_acc_matches_scalar_across_lengths() {
+        let f = Gf256::new();
+        for len in [0usize, 1, 7, 8, 9, 31, 32, 33, 256, 257] {
+            for c in [2u8, 3, 29, 0x53, 255] {
+                let src = pattern(len, 5);
+                let mut word = pattern(len, 9);
+                let mut byte = word.clone();
+                mul_acc(&f, &mut word, &src, c);
+                scalar::mul_acc(&f, &mut byte, &src, c);
+                assert_eq!(word, byte, "len {len} c {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_acc_peels_trivial_coefficients() {
+        let f = Gf256::new();
+        let src = pattern(40, 1);
+        let mut dst = pattern(40, 2);
+        let before = dst.clone();
+        mul_acc(&f, &mut dst, &src, 0);
+        assert_eq!(dst, before, "c = 0 is a no-op");
+        mul_acc(&f, &mut dst, &src, 1);
+        let expect: Vec<u8> = before.iter().zip(&src).map(|(d, s)| d ^ s).collect();
+        assert_eq!(dst, expect, "c = 1 is plain XOR");
+    }
+
+    #[test]
+    fn force_scalar_switch_routes_both_paths_to_the_same_bytes() {
+        let f = Gf256::new();
+        let src = pattern(100, 11);
+        let mut fast = pattern(100, 13);
+        let mut slow = fast.clone();
+        set_force_scalar(true);
+        xor_into(&mut slow, &src);
+        mul_acc(&f, &mut slow, &src, 77);
+        set_force_scalar(false);
+        xor_into(&mut fast, &src);
+        mul_acc(&f, &mut fast, &src, 77);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn volume_counters_advance() {
+        let before_xor = metrics().bytes_xored.get();
+        let before_mul = metrics().bytes_muled.get();
+        let f = Gf256::new();
+        let src = pattern(64, 1);
+        let mut dst = pattern(64, 2);
+        xor_into(&mut dst, &src);
+        mul_acc(&f, &mut dst, &src, 9);
+        assert!(metrics().bytes_xored.get() >= before_xor + 64);
+        assert!(metrics().bytes_muled.get() >= before_mul + 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn unequal_lengths_panic() {
+        xor_into(&mut [0u8; 3], &[0u8; 4]);
+    }
+}

@@ -130,7 +130,7 @@ impl ReedSolomon {
         let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.n);
         out.extend(data.iter().cloned());
         for row in &self.parity_rows {
-            let mut acc = vec![0u8; block_len];
+            let mut acc = crate::pool::with_thread_pool(|p| p.take_zeroed(block_len));
             for (c, &coef) in row.iter().enumerate() {
                 self.field.mul_acc(&mut acc, &data[c], coef);
             }
@@ -195,10 +195,11 @@ impl ReedSolomon {
         // Solve A · data = observed for the first k present blocks.
         let rows: Vec<usize> = present[..self.k].to_vec();
         let mut a: Vec<Vec<u8>> = rows.iter().map(|&r| self.generator_row(r)).collect();
-        let mut b: Vec<Vec<u8>> = rows
-            .iter()
-            .map(|&r| stored[r].clone().expect("present"))
-            .collect();
+        let mut b: Vec<Vec<u8>> = crate::pool::with_thread_pool(|p| {
+            rows.iter()
+                .map(|&r| p.take_copy(stored[r].as_deref().expect("present")))
+                .collect()
+        });
         // Gauss–Jordan elimination (any k rows of an MDS generator are
         // independent, so pivots always exist).
         for col in 0..self.k {
@@ -215,7 +216,7 @@ impl ReedSolomon {
                 *byte = self.field.mul(*byte, inv);
             }
             let acol = a[col].clone();
-            let bcol = b[col].clone();
+            let bcol = crate::pool::with_thread_pool(|p| p.take_copy(&b[col]));
             for r in 0..self.k {
                 if r != col && a[r][col] != 0 {
                     let factor = a[r][col];
@@ -225,13 +226,17 @@ impl ReedSolomon {
                     self.field.mul_acc(&mut b[r], &bcol, factor);
                 }
             }
+            crate::pool::with_thread_pool(|p| p.recycle(bcol));
         }
-        // b now holds the data blocks in order; fill the gaps.
+        // b now holds the data blocks in order; fill the gaps and recycle
+        // the solved rows whose slots were already present.
         let mut recovered = Vec::new();
         for (i, block) in b.into_iter().enumerate() {
             if stored[i].is_none() {
                 stored[i] = Some(block);
                 recovered.push(i as u32);
+            } else {
+                crate::pool::with_thread_pool(|p| p.recycle(block));
             }
         }
         Ok(crate::DecodeReport {

@@ -196,6 +196,20 @@ impl ServerObserver {
             .counter("server.bytes_out", &self.bytes_out)
             .counter_value("trace.spans_recorded", self.tracer.recorded())
             .counter_value("trace.spans_dropped", self.tracer.dropped())
+            // Data-plane volume and scratch-arena effectiveness: process-
+            // wide (the server owns its process), so load snapshots show
+            // how many bytes moved through the kernels per request mix and
+            // whether block reuse is holding.
+            .counter_value(
+                "kernel.bytes_xored",
+                tornado_codec::kernels::metrics().bytes_xored.get(),
+            )
+            .counter_value(
+                "kernel.bytes_muled",
+                tornado_codec::kernels::metrics().bytes_muled.get(),
+            )
+            .counter_value("pool.hit", tornado_codec::pool::metrics().hits.get())
+            .counter_value("pool.miss", tornado_codec::pool::metrics().misses.get())
             .gauge("server.connections_active", &self.connections_active)
             .gauge("server.queue_depth", &self.queue_depth)
             .gauge("server.queue_depth_peak", &self.queue_depth_peak);
@@ -261,5 +275,11 @@ mod tests {
         let gauges = doc.get("gauges").unwrap();
         assert_eq!(gauges.get("server.queue_depth").unwrap().as_u64(), Some(2));
         assert_eq!(gauges.get("server.queue_depth_peak").unwrap().as_u64(), Some(5));
+        // The data-plane counters are process-wide and monotone; the
+        // snapshot must carry them even when this process has not yet
+        // encoded anything.
+        for name in ["kernel.bytes_xored", "kernel.bytes_muled", "pool.hit", "pool.miss"] {
+            assert!(counters.get(name).unwrap().as_u64().is_some(), "{name}");
+        }
     }
 }

@@ -106,6 +106,26 @@ impl Device {
         block
     }
 
+    /// Like [`Device::read_block`], but copies into a buffer recycled from
+    /// `pool` instead of a fresh allocation — the serving path's read
+    /// primitive.
+    pub fn read_block_pooled(
+        &self,
+        key: &BlockKey,
+        pool: &mut tornado_codec::BlockPool,
+    ) -> Option<Vec<u8>> {
+        let mut s = self.state.write();
+        if !s.online {
+            s.stats.failed_reads += 1;
+            return None;
+        }
+        let block = s.blocks.get(key).map(|b| pool.take_copy(b));
+        if block.is_some() {
+            s.stats.reads += 1;
+        }
+        block
+    }
+
     /// Whether a block exists (does not count as an access).
     pub fn has_block(&self, key: &BlockKey) -> bool {
         let s = self.state.read();

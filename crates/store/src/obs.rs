@@ -8,6 +8,7 @@
 //! naive fetch-everything reader. The disabled observer costs one branch
 //! per emit and a handful of relaxed stores per scrub.
 
+use tornado_codec::DecodeMetrics;
 use tornado_obs::{Counter, EventSink, Gauge, Histogram, Json, Snapshot, SpanTimer};
 
 use crate::scrubber::ScrubOutcome;
@@ -41,6 +42,11 @@ pub struct StoreObserver {
     /// Writes rejected by offline devices across the pool (point-in-time
     /// sum of [`crate::device::DeviceStats::failed_writes`]).
     pub device_failed_writes: Gauge,
+    /// Peeling-kernel counters drained from observed scrub decodes. Each
+    /// scrub worker records into its own decoder and drains here at stripe
+    /// boundaries; summation commutes, so the totals are independent of
+    /// which worker scrubbed which stripe.
+    pub decode: DecodeMetrics,
 }
 
 impl StoreObserver {
@@ -60,6 +66,7 @@ impl StoreObserver {
             plan_us: Histogram::new(),
             devices_offline: Gauge::new(),
             device_failed_writes: Gauge::new(),
+            decode: DecodeMetrics::new(),
         }
     }
 
@@ -120,6 +127,9 @@ impl StoreObserver {
         }
         if self.plan_us.count() > 0 {
             snap.histogram("retrieval.plan_us", &self.plan_us);
+        }
+        if self.decode.get(tornado_codec::metrics::cells::TRIALS) > 0 {
+            self.decode.fill_snapshot(snap);
         }
     }
 

@@ -10,9 +10,16 @@
 //! when asked — reconstructs missing blocks and writes them back to
 //! whatever devices are online (replacement drives included).
 
+//! Scrub passes can fan out across worker threads ([`scrub_cycle`]): each
+//! rayon worker scrubs whole stripes with its own thread-local block pool
+//! and decoder, and the per-stripe results are folded back **in object-id
+//! order**, so the outcome is bit-identical to a serial pass regardless of
+//! thread count.
+
 use crate::obs::StoreObserver;
-use crate::store::{ArchivalStore, ObjectId};
-use tornado_codec::Codec;
+use crate::store::{ArchivalStore, ObjectId, ObjectMeta};
+use rayon::prelude::*;
+use tornado_codec::{pool, Codec, DecodeMetrics};
 use tornado_graph::NodeId;
 
 /// Health snapshot for one stripe.
@@ -71,65 +78,132 @@ impl ScrubOutcome {
 /// Inspects every stripe; `repair` additionally reconstructs missing blocks
 /// and writes them back where devices permit. `first_failure_level` is the
 /// graph's profiled worst-case bound (5 for the paper's adjusted graphs)
-/// used to compute margins.
+/// used to compute margins. Serial — equivalent to [`scrub_cycle`] with one
+/// thread.
 pub fn scrub(store: &ArchivalStore, first_failure_level: usize, repair: bool) -> ScrubOutcome {
-    let mut outcome = ScrubOutcome::default();
-    run_scrub(store, first_failure_level, repair, &mut outcome);
-    outcome
+    scrub_cycle(store, first_failure_level, repair, 1)
+}
+
+/// A scrub pass fanned out across `threads` worker threads (`0` means
+/// automatic). Workers scrub whole stripes with their own block pools and
+/// decoders; results fold back in object-id order, so the outcome is
+/// bit-identical to [`scrub`].
+pub fn scrub_cycle(
+    store: &ArchivalStore,
+    first_failure_level: usize,
+    repair: bool,
+    threads: usize,
+) -> ScrubOutcome {
+    run_scrub(store, first_failure_level, repair, threads, None)
 }
 
 /// [`scrub`] with the pass timed into `obs`'s cycle histogram, the
-/// degraded/urgent gauges updated, the repair counter bumped, and one
-/// `scrub_cycle` event emitted. The outcome is identical to [`scrub`].
+/// degraded/urgent gauges updated, the repair counter bumped, decode-kernel
+/// cells drained into `obs.decode`, and one `scrub_cycle` event emitted.
+/// The outcome is identical to [`scrub`].
 pub fn scrub_observed(
     store: &ArchivalStore,
     first_failure_level: usize,
     repair: bool,
     obs: &StoreObserver,
 ) -> ScrubOutcome {
+    scrub_cycle_observed(store, first_failure_level, repair, 1, obs)
+}
+
+/// [`scrub_cycle`] with the same observability as [`scrub_observed`].
+pub fn scrub_cycle_observed(
+    store: &ArchivalStore,
+    first_failure_level: usize,
+    repair: bool,
+    threads: usize,
+    obs: &StoreObserver,
+) -> ScrubOutcome {
     let span = obs.scrub_span();
-    let mut outcome = ScrubOutcome::default();
-    run_scrub(store, first_failure_level, repair, &mut outcome);
+    let outcome = run_scrub(store, first_failure_level, repair, threads, Some(&obs.decode));
     let elapsed_us = span.stop();
     obs.record_scrub(&outcome, elapsed_us, repair);
     obs.record_device_health(store);
     outcome
 }
 
+/// Per-stripe scrub result, folded into a [`ScrubOutcome`] in id order.
+struct StripeScrub {
+    health: StripeHealth,
+    repaired: usize,
+    incomplete: bool,
+}
+
 fn run_scrub(
     store: &ArchivalStore,
     first_failure_level: usize,
     repair: bool,
-    outcome: &mut ScrubOutcome,
-) {
+    threads: usize,
+    metrics: Option<&DecodeMetrics>,
+) -> ScrubOutcome {
     let codec = Codec::new(store.graph());
-    for meta in store.list() {
-        let n = store.graph().num_nodes();
-        let mut stored: Vec<Option<Vec<u8>>> = (0..n as NodeId)
-            .map(|node| store.read_raw_block(&meta, node))
-            .collect();
-        let missing: Vec<NodeId> = (0..n as NodeId)
-            .filter(|&i| stored[i as usize].is_none())
-            .collect();
-        let mut health = StripeHealth {
-            id: meta.id,
-            missing_blocks: missing.clone(),
-            recoverable: true,
-            margin: first_failure_level as i64 - missing.len() as i64,
-        };
-        if missing.is_empty() {
-            outcome.stripes.push(health);
-            continue;
+    let metas = store.list();
+    let per_stripe = |meta: &ObjectMeta| -> StripeScrub {
+        scrub_stripe(store, &codec, meta, first_failure_level, repair, metrics)
+    };
+    let results: Vec<StripeScrub> = if threads == 1 {
+        metas.iter().map(per_stripe).collect()
+    } else {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("scrub thread pool");
+        pool.install(|| metas.into_par_iter().map(|meta| per_stripe(&meta)).collect())
+    };
+    // store.list() is ascending by id and the parallel map preserves item
+    // order, so this fold reproduces the serial outcome exactly.
+    let mut outcome = ScrubOutcome::default();
+    for r in results {
+        outcome.blocks_repaired += r.repaired;
+        if r.incomplete {
+            outcome.objects_incomplete.push(r.health.id);
         }
-        let report = codec.decode(&mut stored).expect("stripe shape is fixed");
+        outcome.stripes.push(r.health);
+    }
+    outcome
+}
+
+fn scrub_stripe(
+    store: &ArchivalStore,
+    codec: &Codec<'_>,
+    meta: &ObjectMeta,
+    first_failure_level: usize,
+    repair: bool,
+    metrics: Option<&DecodeMetrics>,
+) -> StripeScrub {
+    let n = store.graph().num_nodes();
+    let mut stored: Vec<Option<Vec<u8>>> = (0..n as NodeId)
+        .map(|node| store.read_raw_block(meta, node))
+        .collect();
+    let missing: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&i| stored[i as usize].is_none())
+        .collect();
+    let mut health = StripeHealth {
+        id: meta.id,
+        missing_blocks: missing.clone(),
+        recoverable: true,
+        margin: first_failure_level as i64 - missing.len() as i64,
+    };
+    let mut repaired = 0usize;
+    let mut incomplete = false;
+    if !missing.is_empty() {
+        let report = match metrics {
+            Some(m) => codec.decode_recorded(&mut stored, m),
+            None => codec.decode(&mut stored),
+        }
+        .expect("stripe shape is fixed");
         health.recoverable = report.complete();
         if repair {
-            let mut incomplete = !health.recoverable;
+            incomplete = !health.recoverable;
             for &node in &missing {
                 match stored[node as usize].take() {
                     Some(block) => {
-                        if store.write_raw_block(&meta, node, block) {
-                            outcome.blocks_repaired += 1;
+                        if store.write_raw_block(meta, node, block) {
+                            repaired += 1;
                         } else {
                             incomplete = true; // home device still offline
                         }
@@ -137,13 +211,16 @@ fn run_scrub(
                     None => incomplete = true,
                 }
             }
-            if incomplete {
-                outcome.objects_incomplete.push(meta.id);
-            }
-        } else if !health.recoverable {
-            outcome.objects_incomplete.push(meta.id);
+        } else {
+            incomplete = !health.recoverable;
         }
-        outcome.stripes.push(health);
+    }
+    // Whatever was read (and not written back) goes home to the pool.
+    pool::with_thread_pool(|p| p.recycle_stripe(&mut stored));
+    StripeScrub {
+        health,
+        repaired,
+        incomplete,
     }
 }
 
@@ -295,6 +372,64 @@ mod tests {
         assert_eq!(doc.get("event").unwrap().as_str(), Some("scrub_cycle"));
         assert_eq!(doc.get("repaired").unwrap().as_u64(), Some(1));
         assert_eq!(doc.get("repair"), Some(&tornado_obs::Json::Bool(true)));
+    }
+
+    #[test]
+    fn parallel_scrub_matches_serial_bit_for_bit() {
+        let store = ArchivalStore::new(small_graph());
+        for i in 0..12u32 {
+            store
+                .put(&format!("obj{i}"), format!("payload number {i}").as_bytes())
+                .unwrap();
+        }
+        store.fail_device(0).unwrap();
+        store.fail_device(5).unwrap();
+        let serial = scrub(&store, 2, false);
+        for threads in [2, 4, 7] {
+            let parallel = scrub_cycle(&store, 2, false, threads);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_repair_matches_serial_repair() {
+        // Two identically damaged stores: repair one serially, one with a
+        // 4-way scrub cycle. Outcomes and repaired contents must agree.
+        let build = || {
+            let store = ArchivalStore::new(small_graph());
+            let ids: Vec<_> = (0..8u32)
+                .map(|i| store.put(&format!("o{i}"), &[i as u8; 40]).unwrap())
+                .collect();
+            store.fail_device(1).unwrap();
+            store.replace_device(1).unwrap();
+            (store, ids)
+        };
+        let (a, ids_a) = build();
+        let (b, ids_b) = build();
+        let serial = scrub(&a, 2, true);
+        let parallel = scrub_cycle(&b, 2, true, 4);
+        assert_eq!(serial, parallel);
+        assert!(serial.blocks_repaired > 0);
+        for (&ia, &ib) in ids_a.iter().zip(&ids_b) {
+            assert_eq!(a.get(ia).unwrap(), b.get(ib).unwrap());
+        }
+    }
+
+    #[test]
+    fn observed_parallel_scrub_drains_decode_metrics() {
+        use crate::obs::StoreObserver;
+        use tornado_codec::metrics::cells;
+
+        let store = ArchivalStore::new(small_graph());
+        for i in 0..6u32 {
+            store.put(&format!("m{i}"), b"decode me").unwrap();
+        }
+        store.fail_device(0).unwrap();
+        let obs = StoreObserver::disabled();
+        let out = scrub_cycle_observed(&store, 2, false, 3, &obs);
+        assert_eq!(out.degraded_count(), 6);
+        assert_eq!(obs.decode.get(cells::TRIALS), 6, "one decode per stripe");
+        assert!(obs.decode.get(cells::RECOVERIES) >= 6);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::retrieval::plan_retrieval;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use tornado_codec::{Codec, EncodedStripe, RecoveryStep};
+use tornado_codec::{pool, xor_into, Codec, EncodedStripe, RecoveryStep};
 use tornado_graph::{Graph, NodeId};
 
 /// Opaque object identifier.
@@ -152,17 +152,21 @@ impl ArchivalStore {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let rotation =
             self.put_count.fetch_add(1, Ordering::Relaxed) as usize % self.devices.len();
+        let block_len = stripe.block_len();
+        let blocks = stripe.into_blocks();
         let meta = ObjectMeta {
             id,
             name: name.to_string(),
             size: payload.len(),
-            block_len: stripe.block_len(),
+            block_len,
             rotation,
-            checksums: stripe.blocks().iter().map(|b| block_checksum(b)).collect(),
+            checksums: blocks.iter().map(|b| block_checksum(b)).collect(),
         };
-        for (node, block) in stripe.blocks().iter().enumerate() {
+        // Blocks are moved into the devices — the encode output is the
+        // stored representation, no per-block clone on the ingest path.
+        for (node, block) in blocks.into_iter().enumerate() {
             let dev = self.device_of_block(&meta, node as NodeId);
-            self.devices[dev].write_block((id, node as u32), block.clone());
+            self.devices[dev].write_block((id, node as u32), block);
         }
         self.objects.write().insert(id, meta);
         Ok(id)
@@ -239,7 +243,10 @@ impl ArchivalStore {
                     lost_blocks: detail.lost_data,
                 });
             };
-            // Fetch exactly the planned blocks, verifying each.
+            // Fetch exactly the planned blocks, verifying each. Buffers
+            // come from this thread's block pool and are recycled once the
+            // payload is reassembled, so a warm worker serves steady-state
+            // GETs without block mallocs.
             let fetch_start = std::time::Instant::now();
             let mut blocks: Vec<Option<Vec<u8>>> = vec![None; n];
             for &node in &plan.fetch {
@@ -250,6 +257,7 @@ impl ArchivalStore {
                         excluded.push(node);
                         replans += 1;
                         fetch_us += fetch_start.elapsed().as_micros() as u64;
+                        pool::with_thread_pool(|p| p.recycle_stripe(&mut blocks));
                         continue 'plan;
                     }
                 }
@@ -268,16 +276,23 @@ impl ArchivalStore {
             break (decoded, stats);
         };
 
-        // Reassemble the framed payload from the data blocks.
+        // Reassemble the framed payload from the data blocks, then hand
+        // every scratch buffer back to the pool.
         let reassemble_start = std::time::Instant::now();
+        let mut blocks = blocks;
         let k = self.graph.num_data();
-        let mut framed = Vec::with_capacity(k * meta.block_len);
+        let mut framed = pool::with_thread_pool(|p| p.take_zeroed(0));
+        framed.reserve(k * meta.block_len);
         for block in blocks.iter().take(k) {
             framed.extend_from_slice(block.as_ref().expect("all data planned or recovered"));
         }
         let len = u64::from_le_bytes(framed[..8].try_into().expect("length header")) as usize;
         debug_assert_eq!(len, meta.size);
         let payload = framed[8..8 + len].to_vec();
+        pool::with_thread_pool(|p| {
+            p.recycle(framed);
+            p.recycle_stripe(&mut blocks);
+        });
         let mut stats = stats;
         stats.decode_us += reassemble_start.elapsed().as_micros() as u64;
         Ok((payload, stats))
@@ -299,11 +314,15 @@ impl ArchivalStore {
 
     /// Exposes the raw stored block for federation/scrubbing, verifying its
     /// checksum: a corrupt block is reported as absent (an erasure), which
-    /// is exactly how the coding layer can repair it.
+    /// is exactly how the coding layer can repair it. The copy is made into
+    /// a buffer recycled from the calling thread's block pool.
     pub(crate) fn read_raw_block(&self, meta: &ObjectMeta, node: NodeId) -> Option<Vec<u8>> {
         let dev = self.device_of_block(meta, node);
-        let block = self.devices[dev].read_block(&(meta.id, node))?;
+        let block = pool::with_thread_pool(|p| {
+            self.devices[dev].read_block_pooled(&(meta.id, node), p)
+        })?;
         if block_checksum(&block) != meta.checksums[node as usize] {
+            pool::with_thread_pool(|p| p.recycle(block));
             return None;
         }
         Some(block)
@@ -316,15 +335,9 @@ impl ArchivalStore {
     }
 }
 
-#[inline]
-fn xor_into(dst: &mut [u8], src: &[u8]) {
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= s;
-    }
-}
-
 /// Replays a retrieval plan's pruned recovery schedule with real XOR over
-/// the fetched blocks.
+/// the fetched blocks (the word-wide kernel; accumulators come from the
+/// calling thread's block pool).
 fn apply_schedule(
     graph: &Graph,
     mut blocks: Vec<Option<Vec<u8>>>,
@@ -334,7 +347,8 @@ fn apply_schedule(
     for step in &plan.schedule {
         match *step {
             RecoveryStep::Peel { node, via } => {
-                let mut acc = blocks[via as usize].clone().expect("planned");
+                let via_block = blocks[via as usize].as_deref().expect("planned");
+                let mut acc = pool::with_thread_pool(|p| p.take_copy(via_block));
                 for &nbr in graph.check_neighbors(via) {
                     if nbr != node {
                         let b = blocks[nbr as usize].as_ref().expect("planned");
@@ -344,7 +358,7 @@ fn apply_schedule(
                 blocks[node as usize] = Some(acc);
             }
             RecoveryStep::Reencode { node } => {
-                let mut acc = vec![0u8; block_len];
+                let mut acc = pool::with_thread_pool(|p| p.take_zeroed(block_len));
                 for &nbr in graph.check_neighbors(node) {
                     let b = blocks[nbr as usize].as_ref().expect("planned");
                     xor_into(&mut acc, b);
