@@ -10,6 +10,12 @@
 //! speedups depend on how much non-kernel work (hashing, framing, graph
 //! walks) each path carries.
 //!
+//! A second section, `scrub_modes`, A/Bs the checksum-gated scrub tiers
+//! (`verify_clean`, `verify_dirty`, `incremental_clean`) against the
+//! historical full-read + byte-serial data path. Its floor is end-to-end:
+//! `verify_clean` must clear ≥ 5× the baseline in release (≥ 3× under
+//! `--quick`) — the PR's headline claim.
+//!
 //! Usage: `cargo run --release -p tornado-bench --bin bench_data_plane`.
 //! `--check` verifies the full floors without rewriting the JSON;
 //! `--quick` is the CI smoke: fewer samples, relaxed ≥ 1.0 floors (CI
@@ -49,9 +55,10 @@ fn main() {
         r.pool_hit_rate() * 100.0
     );
     println!(
-        "  kernel volume: {:.1} MB xored, {:.1} MB muled",
+        "  kernel volume: {:.1} MB xored, {:.1} MB muled, {:.1} MB hashed",
         r.bytes_xored as f64 / 1e6,
-        r.bytes_muled as f64 / 1e6
+        r.bytes_muled as f64 / 1e6,
+        r.bytes_hashed as f64 / 1e6
     );
 
     let (xor_floor, mul_floor) = if quick { (1.0, 1.0) } else { (4.0, 3.0) };
@@ -61,6 +68,31 @@ fn main() {
     println!(
         "  target: xor_into >= 4x and mul_acc >= 3x scalar -> {}",
         if target_met { "MET" } else { "NOT MET" }
+    );
+
+    let sm = data_plane::measure_scrub_modes(block_bytes, samples);
+    println!("scrub tiers vs full-read byte-serial baseline:");
+    for c in &sm.cases {
+        println!(
+            "  {:<18} baseline {:>8.0} MB/s   full-word {:>8.0} MB/s   tier {:>8.0} MB/s   vs baseline {:>6.2}x   vs full {:>5.2}x",
+            c.name,
+            c.baseline_mb_s,
+            c.full_word_mb_s,
+            c.mode_mb_s,
+            c.speedup_vs_baseline(),
+            c.speedup_vs_full(),
+        );
+    }
+    println!(
+        "  checksum kernel volume: {:.1} MB hashed",
+        sm.bytes_hashed as f64 / 1e6
+    );
+    let verify_clean = sm.case("verify_clean").speedup_vs_baseline();
+    let scrub_floor = if quick { 3.0 } else { 5.0 };
+    let scrub_target_met = verify_clean >= 5.0;
+    println!(
+        "  target: verify_clean >= 5x full-read baseline -> {}",
+        if scrub_target_met { "MET" } else { "NOT MET" }
     );
 
     // Hand-formatted JSON (the workspace deliberately has no serde); the
@@ -95,17 +127,43 @@ fn main() {
         r.pool_hit_rate()
     ));
     json.push_str(&format!(
-        "  \"kernel_volume\": {{\"bytes_xored\": {}, \"bytes_muled\": {}}},\n",
-        r.bytes_xored, r.bytes_muled
+        "  \"kernel_volume\": {{\"bytes_xored\": {}, \"bytes_muled\": {}, \"bytes_hashed\": {}}},\n",
+        r.bytes_xored, r.bytes_muled, r.bytes_hashed
     ));
+    json.push_str("  \"scrub_modes\": [\n");
+    for (i, c) in sm.cases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"case\": \"{}\", \"baseline_mb_s\": {:.1}, \"full_word_mb_s\": {:.1}, \"mode_mb_s\": {:.1}, \"vs_baseline\": {:.2}, \"vs_full\": {:.2}}}{}\n",
+            c.name,
+            c.baseline_mb_s,
+            c.full_word_mb_s,
+            c.mode_mb_s,
+            c.speedup_vs_baseline(),
+            c.speedup_vs_full(),
+            if i + 1 < sm.cases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"target\": \"xor_into >= 4x and mul_acc >= 3x byte-serial scalar\",\n");
-    json.push_str(&format!("  \"target_met\": {target_met}\n"));
+    json.push_str(&format!("  \"target_met\": {target_met},\n"));
+    json.push_str(
+        "  \"scrub_target\": \"verify_clean >= 5x full-read byte-serial baseline\",\n",
+    );
+    json.push_str(&format!("  \"scrub_target_met\": {scrub_target_met}\n"));
     json.push_str("}\n");
 
     // Schema self-check: the JSON must parse and carry every field the
     // docs (EXPERIMENTS.md) and CI rely on.
     let doc = tornado_obs::json::parse(&json).expect("bench JSON must parse");
-    for field in ["bench", "cases", "pool", "kernel_volume", "target_met"] {
+    for field in [
+        "bench",
+        "cases",
+        "pool",
+        "kernel_volume",
+        "target_met",
+        "scrub_modes",
+        "scrub_target_met",
+    ] {
         assert!(
             doc.get(field).is_some(),
             "bench JSON is missing the '{field}' field"
@@ -120,9 +178,13 @@ fn main() {
         mul >= mul_floor,
         "mul_acc speedup {mul:.2}x is below the {mul_floor}x floor"
     );
+    assert!(
+        verify_clean >= scrub_floor,
+        "verify_clean speedup {verify_clean:.2}x is below the {scrub_floor}x floor"
+    );
 
     if quick {
-        println!("--quick: kernels faster than scalar and JSON schema valid");
+        println!("--quick: kernel and scrub-tier floors hold, JSON schema valid");
         return;
     }
     if cfg!(debug_assertions) {

@@ -45,6 +45,7 @@ fn main() {
         ("Federated failure profiles", exp::fed_profile::run),
         ("Serving-layer load test", exp::load_test::run),
         ("Data-plane kernels", exp::data_plane::run),
+        ("Checksum-gated scrub tiers", exp::data_plane::run_scrub_modes),
     ];
 
     let suite_start = Instant::now();

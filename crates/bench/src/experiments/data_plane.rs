@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 use tornado_codec::gf256::Gf256;
 use tornado_codec::{kernels, pool, Codec};
-use tornado_store::ArchivalStore;
+use tornado_store::{ArchivalStore, ScrubMode, Scrubber};
 
 /// One measured A/B case.
 #[derive(Clone, Copy, Debug)]
@@ -54,6 +54,8 @@ pub struct DataPlaneReport {
     pub bytes_xored: u64,
     /// Bytes through the GF multiply kernel during the measurement.
     pub bytes_muled: u64,
+    /// Bytes through the checksum kernel during the measurement.
+    pub bytes_hashed: u64,
 }
 
 impl DataPlaneReport {
@@ -112,6 +114,7 @@ pub fn measure(block_bytes: usize, samples: usize) -> DataPlaneReport {
     let kern0 = (
         kernels::metrics().bytes_xored.get(),
         kernels::metrics().bytes_muled.get(),
+        kernels::metrics().bytes_hashed.get(),
     );
     let mut cases = Vec::new();
 
@@ -223,7 +226,9 @@ pub fn measure(block_bytes: usize, samples: usize) -> DataPlaneReport {
 
     // Scrub: a small store with one failed device; every pass reads every
     // stripe and decodes the missing block (no repair, so each pass does
-    // identical work).
+    // identical work). Pinned to `ScrubMode::Full` — this row tracks the
+    // historical full-read data path; the tiered modes get their own A/B
+    // in [`measure_scrub_modes`].
     let store = ArchivalStore::new(tornado_core::tornado_graph_1());
     let objects = 2usize;
     let payload = vec![0xA5u8; k * block_bytes - 8];
@@ -232,8 +237,9 @@ pub fn measure(block_bytes: usize, samples: usize) -> DataPlaneReport {
     }
     store.fail_device(3).expect("fail");
     let n = graph.num_nodes();
+    let scrubber = Scrubber::new(1);
     let mut scrub_once = || {
-        let out = tornado_store::scrubber::scrub(&store, 5, false);
+        let out = scrubber.run(&store, 5, false, ScrubMode::Full);
         assert_eq!(out.degraded_count(), objects);
     };
     let (scalar_ns, word_ns) = ab(&mut scrub_once);
@@ -252,7 +258,163 @@ pub fn measure(block_bytes: usize, samples: usize) -> DataPlaneReport {
         pool_misses: pool::metrics().misses.get() - pool0.1,
         bytes_xored: kernels::metrics().bytes_xored.get() - kern0.0,
         bytes_muled: kernels::metrics().bytes_muled.get() - kern0.1,
+        bytes_hashed: kernels::metrics().bytes_hashed.get() - kern0.2,
     }
+}
+
+/// One scrub-tier A/B case: the tier under test against the PR 5 data
+/// path (full read + byte-serial checksum + decode on damage).
+///
+/// All three throughputs use the same nominal denominator — the bytes of
+/// archive the pass covers (`objects × n × block_bytes`) — so the ratios
+/// are pure wall-time ratios and "MB/s" reads as *archive covered per
+/// second*, which is the number an operator planning scrub cadence needs.
+#[derive(Clone, Copy, Debug)]
+pub struct ScrubModeCase {
+    /// Case label (stable across the JSON schema and EXPERIMENTS.md).
+    pub name: &'static str,
+    /// Historical baseline: `ScrubMode::Full` with byte-serial kernels.
+    pub baseline_mb_s: f64,
+    /// `ScrubMode::Full` with word-wide kernels (isolates the copy/decode
+    /// cost from the checksum-kernel win).
+    pub full_word_mb_s: f64,
+    /// The tier under test with word-wide kernels.
+    pub mode_mb_s: f64,
+}
+
+impl ScrubModeCase {
+    /// Tier over the PR 5 full-read byte-serial baseline.
+    pub fn speedup_vs_baseline(&self) -> f64 {
+        self.mode_mb_s / self.baseline_mb_s
+    }
+
+    /// Tier over word-wide full decode (what checksum gating alone buys).
+    pub fn speedup_vs_full(&self) -> f64 {
+        self.mode_mb_s / self.full_word_mb_s
+    }
+}
+
+/// A full scrub-tier measurement.
+pub struct ScrubModeReport {
+    /// Block size measured, bytes.
+    pub block_bytes: usize,
+    /// Timed samples per case side (median taken).
+    pub samples: usize,
+    /// Tier cases, in fixed order:
+    /// `verify_clean`, `verify_dirty`, `incremental_clean`.
+    pub cases: Vec<ScrubModeCase>,
+    /// Bytes through the checksum kernel during the measurement.
+    pub bytes_hashed: u64,
+}
+
+impl ScrubModeReport {
+    /// Looks a case up by name.
+    pub fn case(&self, name: &str) -> &ScrubModeCase {
+        self.cases
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("no case {name}"))
+    }
+}
+
+/// Measures the three scrub tiers against the full-read baseline.
+///
+/// * `verify_clean` — hash-verify pass over an undamaged store: the
+///   default scrub, where the win is copy elimination × word-wide hashing.
+/// * `verify_dirty` — hash-verify with one failed device: every stripe
+///   still pays the decode, so the gain is just the healthy blocks that
+///   skipped the copy.
+/// * `incremental_clean` — warm skip tier over an undamaged store: the
+///   steady-state background scrub, bounded by the generation-map walk.
+pub fn measure_scrub_modes(block_bytes: usize, samples: usize) -> ScrubModeReport {
+    let hash0 = kernels::metrics().bytes_hashed.get();
+    let graph = tornado_core::tornado_graph_1();
+    let k = graph.num_data();
+    let n = graph.num_nodes();
+    let objects = 2usize;
+    let payload = vec![0xA5u8; k * block_bytes - 8];
+    let nominal = objects * n * block_bytes;
+
+    let clean = ArchivalStore::new(tornado_core::tornado_graph_1());
+    let dirty = ArchivalStore::new(tornado_core::tornado_graph_1());
+    for i in 0..objects {
+        clean.put(&format!("bench-{i}"), &payload).expect("put");
+        dirty.put(&format!("bench-{i}"), &payload).expect("put");
+    }
+    dirty.fail_device(3).expect("fail");
+
+    // One scrubber per (store, timing block): clean marks must not leak a
+    // skip tier into a Verify/Full measurement.
+    let time = |store: &ArchivalStore, mode: ScrubMode, force: bool| -> f64 {
+        let scrubber = Scrubber::new(1);
+        if mode == ScrubMode::Incremental {
+            // Warm the skip tier: steady state, not first-pass discovery.
+            scrubber.run(store, 5, false, mode);
+        }
+        kernels::set_force_scalar(force);
+        let ns = median_ns(1, samples, || {
+            let out = scrubber.run(store, 5, false, mode);
+            assert_eq!(out.stripes.len(), objects);
+        });
+        kernels::set_force_scalar(false);
+        mb_s(nominal, ns)
+    };
+
+    let mut cases = Vec::new();
+    for (name, store, mode) in [
+        ("verify_clean", &clean, ScrubMode::Verify),
+        ("verify_dirty", &dirty, ScrubMode::Verify),
+        ("incremental_clean", &clean, ScrubMode::Incremental),
+    ] {
+        cases.push(ScrubModeCase {
+            name,
+            baseline_mb_s: time(store, ScrubMode::Full, true),
+            full_word_mb_s: time(store, ScrubMode::Full, false),
+            mode_mb_s: time(store, mode, false),
+        });
+    }
+
+    ScrubModeReport {
+        block_bytes,
+        samples,
+        cases,
+        bytes_hashed: kernels::metrics().bytes_hashed.get() - hash0,
+    }
+}
+
+/// Runs the scrub-tier A/B and formats the throughput table.
+pub fn run_scrub_modes(effort: &Effort) -> String {
+    let smoke = effort.mc_trials < 1_000;
+    let (block_bytes, samples) = if smoke { (4096, 3) } else { (65536, 7) };
+    let r = measure_scrub_modes(block_bytes, samples);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Checksum-gated scrub tiers vs full-read baseline, {} KiB blocks, archive MB/s (decimal)",
+        r.block_bytes / 1024
+    );
+    let _ = writeln!(
+        out,
+        "case, baseline_mb_s, full_word_mb_s, mode_mb_s, vs_baseline, vs_full"
+    );
+    for c in &r.cases {
+        let _ = writeln!(
+            out,
+            "{}, {:.0}, {:.0}, {:.0}, {:.2}, {:.2}",
+            c.name,
+            c.baseline_mb_s,
+            c.full_word_mb_s,
+            c.mode_mb_s,
+            c.speedup_vs_baseline(),
+            c.speedup_vs_full(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "checksum kernel volume: {:.1} MB hashed",
+        r.bytes_hashed as f64 / 1e6,
+    );
+    out
 }
 
 /// Runs the A/B and formats the throughput table.
@@ -304,6 +466,7 @@ mod tests {
         assert!(r.pool_hits + r.pool_misses > 0, "pools were exercised");
         assert!(r.bytes_xored > 0);
         assert!(r.bytes_muled > 0);
+        assert!(r.bytes_hashed > 0, "the scrub row exercises the checksum kernel");
     }
 
     #[test]
@@ -313,5 +476,27 @@ mod tests {
             assert!(report.contains(name), "missing row {name}:\n{report}");
         }
         assert!(report.contains("hit rate"));
+    }
+
+    #[test]
+    fn scrub_mode_report_has_all_cases_and_sane_numbers() {
+        let r = measure_scrub_modes(512, 1);
+        assert_eq!(r.block_bytes, 512);
+        for name in ["verify_clean", "verify_dirty", "incremental_clean"] {
+            let c = r.case(name);
+            assert!(c.baseline_mb_s > 0.0, "{name} baseline");
+            assert!(c.full_word_mb_s > 0.0, "{name} full word");
+            assert!(c.mode_mb_s > 0.0, "{name} mode");
+        }
+        assert!(r.bytes_hashed > 0, "verify tiers hash in place");
+    }
+
+    #[test]
+    fn run_scrub_modes_formats_every_row() {
+        let report = run_scrub_modes(&Effort::smoke());
+        for name in ["verify_clean,", "verify_dirty,", "incremental_clean,"] {
+            assert!(report.contains(name), "missing row {name}:\n{report}");
+        }
+        assert!(report.contains("MB hashed"));
     }
 }

@@ -32,7 +32,10 @@ COMMANDS:
     scrub        Fail devices, scrub, report health  --graph FILE | --catalog 1|2|3
                                                      [--objects 8] [--level 5] [--repair]
                                                      [--threads 1] [--fail DEV]...
-                                                     [--replace DEV]...
+                                                     [--replace DEV]... [--cycles 1]
+                                                     [--full | --verify | --incremental]
+                                                     (default --verify: hash-check in
+                                                     place, decode only on damage)
     validate-metrics  Validate a metrics snapshot    --file FILE
     adjust       Feedback adjustment (§3.3)         --graph FILE [--target 5] [--out FILE]
     reliability  Table 5 reliability comparison     [--graph FILE]... [--afr 0.01] [--trials 20000]

@@ -68,6 +68,41 @@ proptest! {
         let t = kernels::MulTable::new(&f, c);
         prop_assert_eq!(t.mul(b), f.mul(c, b));
     }
+
+    #[test]
+    fn checksum_matches_scalar(len in 0usize..257, offset in 0usize..8, seed in any::<u64>()) {
+        let buf = bytes(len + offset, seed);
+        prop_assert_eq!(
+            kernels::checksum(&buf[offset..]),
+            kernels::scalar::checksum(&buf[offset..]),
+        );
+    }
+
+    #[test]
+    fn checksum_is_sensitive_to_any_single_byte(
+        len in 1usize..257,
+        seed in any::<u64>(),
+        pos_seed in any::<u64>(),
+        mask in 1u8..=255,
+    ) {
+        let mut buf = bytes(len, seed);
+        let clean = kernels::checksum(&buf);
+        let pos = (pos_seed % len as u64) as usize;
+        buf[pos] ^= mask;
+        prop_assert_ne!(kernels::checksum(&buf), clean, "flip at {} of {}", pos, len);
+    }
+
+    #[test]
+    fn checksum_distinguishes_truncation(len in 1usize..257, seed in any::<u64>()) {
+        // A digest that ignored length would accept a block truncated at a
+        // zero tail; the length fold must catch it.
+        let mut buf = bytes(len, seed);
+        *buf.last_mut().unwrap() = 0;
+        prop_assert_ne!(
+            kernels::checksum(&buf),
+            kernels::checksum(&buf[..len - 1]),
+        );
+    }
 }
 
 /// Encode → erase → decode, bit-identical through both dispatch paths.
@@ -88,9 +123,13 @@ fn round_trip_is_bit_identical_across_dispatch() {
 
         kernels::set_force_scalar(true);
         let scalar_blocks = codec.encode(&data).expect("scalar encode");
+        let scalar_sums: Vec<u64> =
+            scalar_blocks.iter().map(|b| kernels::checksum(b)).collect();
         kernels::set_force_scalar(false);
         let word_blocks = codec.encode(&data).expect("word encode");
+        let word_sums: Vec<u64> = word_blocks.iter().map(|b| kernels::checksum(b)).collect();
         assert_eq!(scalar_blocks, word_blocks, "encode at block {block_len}");
+        assert_eq!(scalar_sums, word_sums, "checksum dispatch at block {block_len}");
 
         for force in [true, false] {
             kernels::set_force_scalar(force);

@@ -171,6 +171,13 @@ impl ServerObserver {
                 ("server.bytes_in".into(), self.bytes_in.get()),
                 ("server.bytes_out".into(), self.bytes_out.get()),
                 ("server.errors".into(), self.errors.get()),
+                // Scrub-tier activity: a background scrub loop shows up
+                // here as skipped/verified/decoded rates, so `watch` can
+                // tell a healthy skip-mostly cadence from one that is
+                // re-decoding the archive every pass.
+                ("scrub.skipped".into(), self.store_obs.stripes_skipped.get()),
+                ("scrub.verified".into(), self.store_obs.stripes_verified.get()),
+                ("scrub.decoded".into(), self.store_obs.stripes_decoded.get()),
             ],
         });
     }
@@ -207,6 +214,10 @@ impl ServerObserver {
             .counter_value(
                 "kernel.bytes_muled",
                 tornado_codec::kernels::metrics().bytes_muled.get(),
+            )
+            .counter_value(
+                "kernel.bytes_hashed",
+                tornado_codec::kernels::metrics().bytes_hashed.get(),
             )
             .counter_value("pool.hit", tornado_codec::pool::metrics().hits.get())
             .counter_value("pool.miss", tornado_codec::pool::metrics().misses.get())
@@ -253,6 +264,27 @@ mod tests {
     use super::*;
 
     #[test]
+    fn timeseries_samples_carry_scrub_tier_counters() {
+        let obs = ServerObserver::disabled();
+        obs.store_obs.stripes_skipped.add(7);
+        obs.store_obs.stripes_verified.add(3);
+        obs.store_obs.stripes_decoded.add(1);
+        obs.sample_timeseries(100);
+        let json = obs.timeseries.to_json();
+        let points = tornado_obs::timeseries::points_from_json(&json).unwrap();
+        let p = &points[0];
+        let value = |k: &str| {
+            p.values
+                .iter()
+                .find(|(name, _)| name == k)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(value("scrub.skipped"), Some(7));
+        assert_eq!(value("scrub.verified"), Some(3));
+        assert_eq!(value("scrub.decoded"), Some(1));
+    }
+
+    #[test]
     fn snapshot_carries_request_counters_and_validates() {
         let obs = ServerObserver::disabled();
         obs.count_op("put");
@@ -278,7 +310,13 @@ mod tests {
         // The data-plane counters are process-wide and monotone; the
         // snapshot must carry them even when this process has not yet
         // encoded anything.
-        for name in ["kernel.bytes_xored", "kernel.bytes_muled", "pool.hit", "pool.miss"] {
+        for name in [
+            "kernel.bytes_xored",
+            "kernel.bytes_muled",
+            "kernel.bytes_hashed",
+            "pool.hit",
+            "pool.miss",
+        ] {
             assert!(counters.get(name).unwrap().as_u64().is_some(), "{name}");
         }
     }

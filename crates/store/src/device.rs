@@ -12,6 +12,18 @@ use std::collections::HashMap;
 /// Key of a stored block: `(object id, node index)`.
 pub type BlockKey = (u64, u32);
 
+/// Outcome of a zero-copy checksum probe ([`Device::verify_block`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockProbe {
+    /// The block is present and its checksum matches.
+    Ok,
+    /// The device is offline or the block is absent — an erasure.
+    Missing,
+    /// The block is present but its bytes no longer hash to the expected
+    /// digest: silent bit rot, treated as an erasure by the coding layer.
+    Corrupt,
+}
+
 /// Access/health counters for a device.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DeviceStats {
@@ -23,6 +35,10 @@ pub struct DeviceStats {
     pub failed_reads: u64,
     /// Writes rejected because the device was offline.
     pub failed_writes: u64,
+    /// In-place checksum probes served ([`Device::verify_block`]) — the
+    /// scrub verify tier's accesses, counted separately from `reads`
+    /// because no block bytes leave the device.
+    pub verifies: u64,
 }
 
 #[derive(Debug, Default)]
@@ -126,6 +142,30 @@ impl Device {
         block
     }
 
+    /// Checksums a block **in place** against `expected` — the scrub
+    /// verify tier's primitive. No bytes are copied and nothing is
+    /// allocated: the word-wide checksum kernel runs over the
+    /// device-resident buffer under the device lock.
+    pub fn verify_block(&self, key: &BlockKey, expected: u64) -> BlockProbe {
+        let mut s = self.state.write();
+        if !s.online {
+            s.stats.failed_reads += 1;
+            return BlockProbe::Missing;
+        }
+        match s.blocks.get(key) {
+            None => BlockProbe::Missing,
+            Some(b) => {
+                let ok = tornado_codec::kernels::checksum(b) == expected;
+                s.stats.verifies += 1;
+                if ok {
+                    BlockProbe::Ok
+                } else {
+                    BlockProbe::Corrupt
+                }
+            }
+        }
+    }
+
     /// Whether a block exists (does not count as an access).
     pub fn has_block(&self, key: &BlockKey) -> bool {
         let s = self.state.read();
@@ -202,6 +242,23 @@ mod tests {
         assert!(d.write_block((1, 0), vec![1]));
         assert_eq!(d.stats().failed_writes, 2, "successful write leaves the failure count");
         assert_eq!(d.stats().writes, 1);
+    }
+
+    #[test]
+    fn verify_block_probes_without_copying() {
+        let d = Device::new(0);
+        let data = vec![5u8; 100];
+        let sum = tornado_codec::kernels::checksum(&data);
+        d.write_block((1, 0), data);
+        assert_eq!(d.verify_block(&(1, 0), sum), BlockProbe::Ok);
+        assert_eq!(d.verify_block(&(1, 1), sum), BlockProbe::Missing);
+        assert!(d.corrupt_block(&(1, 0), 0x01));
+        assert_eq!(d.verify_block(&(1, 0), sum), BlockProbe::Corrupt);
+        assert_eq!(d.stats().verifies, 2, "present-block probes are counted, including mismatches");
+        assert_eq!(d.stats().reads, 0, "no block bytes were served");
+        d.fail();
+        assert_eq!(d.verify_block(&(1, 0), sum), BlockProbe::Missing);
+        assert_eq!(d.stats().failed_reads, 1);
     }
 
     #[test]

@@ -41,12 +41,12 @@ pub mod store;
 pub mod workload;
 
 pub use chunking::{delete_chunked, get_chunked, put_chunked};
-pub use device::{Device, DeviceStats};
+pub use device::{BlockProbe, Device, DeviceStats};
 pub use error::StoreError;
 pub use federation::FederatedStore;
 pub use obs::StoreObserver;
 pub use retrieval::{plan_retrieval, plan_retrieval_observed, RetrievalPlan};
-pub use scrubber::{ScrubOutcome, StripeHealth};
+pub use scrubber::{ScrubAction, ScrubMode, ScrubOutcome, Scrubber, StripeHealth};
 pub use store::{ArchivalStore, GetStats, ObjectId, ObjectMeta};
 pub use workload::{
     generate_events, replay, Event, EventOutcome, ReplayReport, WorkloadConfig,

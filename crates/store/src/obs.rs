@@ -29,6 +29,12 @@ pub struct StoreObserver {
     pub urgent: Gauge,
     /// Blocks rewritten by repair, cumulative.
     pub blocks_repaired: Counter,
+    /// Stripes the incremental skip tier never touched, cumulative.
+    pub stripes_skipped: Counter,
+    /// Stripes fully checksum-verified (and intact), cumulative.
+    pub stripes_verified: Counter,
+    /// Stripes that needed the full read + decode tier, cumulative.
+    pub stripes_decoded: Counter,
     /// Retrieval plans computed successfully.
     pub retrieval_plans: Counter,
     /// Retrieval requests that were unplannable (data unrecoverable).
@@ -60,6 +66,9 @@ impl StoreObserver {
             degraded: Gauge::new(),
             urgent: Gauge::new(),
             blocks_repaired: Counter::new(),
+            stripes_skipped: Counter::new(),
+            stripes_verified: Counter::new(),
+            stripes_decoded: Counter::new(),
             retrieval_plans: Counter::new(),
             retrieval_unplannable: Counter::new(),
             retrieval_blocks_fetched: Counter::new(),
@@ -94,12 +103,18 @@ impl StoreObserver {
         self.degraded.set(outcome.degraded_count() as i64);
         self.urgent.set(outcome.urgent_count() as i64);
         self.blocks_repaired.add(outcome.blocks_repaired as u64);
+        self.stripes_skipped.add(outcome.skipped_count() as u64);
+        self.stripes_verified.add(outcome.verified_count() as u64);
+        self.stripes_decoded.add(outcome.decoded_count() as u64);
         self.events.emit(
             "scrub_cycle",
             &[
                 ("stripes", Json::U64(outcome.stripes.len() as u64)),
                 ("degraded", Json::U64(outcome.degraded_count() as u64)),
                 ("urgent", Json::U64(outcome.urgent_count() as u64)),
+                ("skipped", Json::U64(outcome.skipped_count() as u64)),
+                ("verified", Json::U64(outcome.verified_count() as u64)),
+                ("decoded", Json::U64(outcome.decoded_count() as u64)),
                 ("repaired", Json::U64(outcome.blocks_repaired as u64)),
                 (
                     "incomplete",
@@ -115,6 +130,9 @@ impl StoreObserver {
     pub fn fill_snapshot(&self, snap: &mut Snapshot) {
         snap.counter("scrub.cycles", &self.scrub_cycles)
             .counter("scrub.blocks_repaired", &self.blocks_repaired)
+            .counter("scrub.skipped", &self.stripes_skipped)
+            .counter("scrub.verified", &self.stripes_verified)
+            .counter("scrub.decoded", &self.stripes_decoded)
             .counter("retrieval.plans", &self.retrieval_plans)
             .counter("retrieval.unplannable", &self.retrieval_unplannable)
             .counter("retrieval.blocks_fetched", &self.retrieval_blocks_fetched)

@@ -60,14 +60,11 @@ impl GetStats {
     }
 }
 
-/// FNV-1a over a block.
+/// Block digest: the word-wide 8-lane FNV checksum kernel (scrub's verify
+/// tier hashes device-resident bytes with the same function the put path
+/// recorded, so put/get/verify always agree).
 pub(crate) fn block_checksum(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
+    tornado_codec::kernels::checksum(data)
 }
 
 /// A single-site archival store: one device per graph node, objects encoded
@@ -84,6 +81,17 @@ pub struct ArchivalStore {
     objects: RwLock<HashMap<ObjectId, ObjectMeta>>,
     next_id: AtomicU64,
     put_count: AtomicU64,
+    /// Per-stripe dirty generations: bumped on every API-visible mutation
+    /// of a stripe's blocks (put, delete, repair/federation writes). The
+    /// incremental scrub tier skips a stripe whose generation — and the
+    /// pool epoch — are unchanged since it was last seen fully clean.
+    generations: RwLock<HashMap<ObjectId, u64>>,
+    /// Source of generation numbers (store-wide, strictly increasing).
+    generation_counter: AtomicU64,
+    /// Device-pool epoch: bumped whenever a device fails or is replaced.
+    /// Device-level events destroy blocks without touching any stripe's
+    /// generation, so clean marks are additionally keyed by this epoch.
+    pool_epoch: AtomicU64,
 }
 
 impl ArchivalStore {
@@ -96,6 +104,9 @@ impl ArchivalStore {
             objects: RwLock::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             put_count: AtomicU64::new(0),
+            generations: RwLock::new(HashMap::new()),
+            generation_counter: AtomicU64::new(0),
+            pool_epoch: AtomicU64::new(0),
         }
     }
 
@@ -120,13 +131,31 @@ impl ArchivalStore {
     /// Injects a device failure (contents destroyed).
     pub fn fail_device(&self, index: usize) -> Result<(), StoreError> {
         self.device(index)?.fail();
+        self.pool_epoch.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
     /// Replaces a failed device with an empty one.
     pub fn replace_device(&self, index: usize) -> Result<(), StoreError> {
         self.device(index)?.replace();
+        self.pool_epoch.fetch_add(1, Ordering::Release);
         Ok(())
+    }
+
+    /// The current device-pool epoch (bumped on every fail/replace).
+    pub fn pool_epoch(&self) -> u64 {
+        self.pool_epoch.load(Ordering::Acquire)
+    }
+
+    /// The stripe's current dirty generation (`0` before its first write).
+    pub fn stripe_generation(&self, id: ObjectId) -> u64 {
+        self.generations.read().get(&id).copied().unwrap_or(0)
+    }
+
+    /// Marks a stripe dirty: assigns it a fresh store-wide generation.
+    fn bump_generation(&self, id: ObjectId) {
+        let g = self.generation_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        self.generations.write().insert(id, g);
     }
 
     /// Indices of currently offline devices.
@@ -169,6 +198,7 @@ impl ArchivalStore {
             self.devices[dev].write_block((id, node as u32), block);
         }
         self.objects.write().insert(id, meta);
+        self.bump_generation(id);
         Ok(id)
     }
 
@@ -309,6 +339,7 @@ impl ArchivalStore {
             let dev = self.device_of_block(&meta, node);
             self.devices[dev].delete_block(&(id, node));
         }
+        self.generations.write().remove(&id);
         Ok(())
     }
 
@@ -331,7 +362,20 @@ impl ArchivalStore {
     /// Writes a (re-encoded) block back to its home device.
     pub(crate) fn write_raw_block(&self, meta: &ObjectMeta, node: NodeId, data: Vec<u8>) -> bool {
         let dev = self.device_of_block(meta, node);
-        self.devices[dev].write_block((meta.id, node), data)
+        let written = self.devices[dev].write_block((meta.id, node), data);
+        if written {
+            self.bump_generation(meta.id);
+        }
+        written
+    }
+
+    /// Hash-verifies a block **in place** on its home device — the scrub
+    /// verify tier's probe. No bytes are copied and nothing is allocated;
+    /// the expected digest comes from the stripe metadata written at put
+    /// time.
+    pub(crate) fn probe_block(&self, meta: &ObjectMeta, node: NodeId) -> crate::device::BlockProbe {
+        let dev = self.device_of_block(meta, node);
+        self.devices[dev].verify_block(&(meta.id, node), meta.checksums[node as usize])
     }
 }
 
