@@ -1,0 +1,171 @@
+//! Runs the repair-bandwidth bake-off across the code zoo and writes
+//! `BENCH_repair_bandwidth.json` at the repository root.
+//!
+//! Six generator families (tornado, doubled, shifted, regular-degree-4,
+//! fixed-degree cascade, mirroring) are swept empirically — random
+//! offline patterns through `plan_repair`, costs from the retrieval
+//! planner's `RepairCost` — and the paper's RAID5/RAID6 drawer systems
+//! ride along in closed form. Every code gets the same x-axis (devices
+//! offline, 1..=8) and y-axes (P(loss), repair bytes per lost block,
+//! devices contacted).
+//!
+//! Floors (exact, not timing-dependent, so they hold in every build):
+//! mirroring repairs 1 block per lost block; RAID5 contacts the other 11
+//! drawer members; tornado survives every k = 1 pattern.
+//!
+//! Usage: `cargo run --release -p tornado-bench --bin bench_repair_bandwidth`.
+//! `--check` verifies the floors without rewriting the JSON; `--quick` is
+//! the CI smoke: fewer trials, JSON schema-validated in memory but never
+//! written. Debug builds refuse to write so the committed file always
+//! comes from a release run.
+
+use tornado_bench::experiments::repair_bandwidth;
+
+fn main() {
+    let check_only = std::env::args().any(|a| a == "--check");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let trials: u64 = if quick { 100 } else { 2_000 };
+    let ks: Vec<usize> = (1..=8).collect();
+    let seed = 0x70_52_4E;
+
+    let r = repair_bandwidth::measure(trials, &ks, seed);
+    println!(
+        "repair-bandwidth bake-off: {} codes, {} offline patterns per (code, k), {} KiB blocks, {} build",
+        r.codes.len(),
+        r.trials_per_k,
+        r.block_bytes / 1024,
+        if cfg!(debug_assertions) { "debug" } else { "release" }
+    );
+    for c in &r.codes {
+        println!(
+            "  {:<17} {:<8} overhead {:.2}  k=1: p_loss {:.4}, {:>5.1} blocks/lost, {:>5.1} devices   k=4: p_loss {:.4}",
+            c.code,
+            c.kind,
+            c.overhead,
+            c.at(1).p_loss,
+            c.at(1).repair_blocks_per_lost,
+            c.at(1).devices_contacted,
+            c.at(4).p_loss,
+        );
+    }
+
+    // Hand-formatted JSON (the workspace deliberately has no serde); the
+    // parser round-trip below keeps the formatting honest.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"repair_bandwidth\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if cfg!(debug_assertions) { "debug" } else { "release" }
+    ));
+    json.push_str(&format!("  \"block_bytes\": {},\n", r.block_bytes));
+    json.push_str(&format!("  \"trials_per_k\": {},\n", r.trials_per_k));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!(
+        "  \"ks\": [{}],\n",
+        ks.iter().map(|k| k.to_string()).collect::<Vec<_>>().join(", ")
+    ));
+    json.push_str("  \"codes\": [\n");
+    for (i, c) in r.codes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"code\": \"{}\", \"kind\": \"{}\", \"nodes\": {}, \"data\": {}, \"overhead\": {:.4}, \"sweep\": [\n",
+            c.code, c.kind, c.nodes, c.data, c.overhead
+        ));
+        for (j, p) in c.sweep.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"k\": {}, \"p_loss\": {:.6}, \"repair_blocks_per_lost\": {:.4}, \"repair_bytes_per_lost\": {:.1}, \"devices_contacted\": {:.4}, \"recovery_depth\": {:.4}}}{}\n",
+                p.k,
+                p.p_loss,
+                p.repair_blocks_per_lost,
+                p.repair_bytes_per_lost,
+                p.devices_contacted,
+                p.recovery_depth,
+                if j + 1 < c.sweep.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < r.codes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    // Schema self-check: the JSON must parse and carry every field and
+    // code EXPERIMENTS.md and CI rely on.
+    let doc = tornado_obs::json::parse(&json).expect("bench JSON must parse");
+    for field in ["bench", "block_bytes", "trials_per_k", "ks", "codes"] {
+        assert!(
+            doc.get(field).is_some(),
+            "bench JSON is missing the '{field}' field"
+        );
+    }
+    let codes = match doc.get("codes") {
+        Some(tornado_obs::Json::Arr(a)) => a,
+        other => panic!("'codes' must be an array, got {other:?}"),
+    };
+    assert!(
+        codes.len() >= 8,
+        "expected >= 6 graph families + 2 analytic rows, got {}",
+        codes.len()
+    );
+    for c in codes {
+        for field in ["code", "kind", "overhead", "sweep"] {
+            assert!(c.get(field).is_some(), "code row missing '{field}'");
+        }
+        let sweep = match c.get("sweep") {
+            Some(tornado_obs::Json::Arr(a)) => a,
+            other => panic!("'sweep' must be an array, got {other:?}"),
+        };
+        assert_eq!(sweep.len(), ks.len(), "one sweep point per k");
+        for p in sweep {
+            for field in [
+                "k",
+                "p_loss",
+                "repair_blocks_per_lost",
+                "repair_bytes_per_lost",
+                "devices_contacted",
+                "recovery_depth",
+            ] {
+                assert!(p.get(field).is_some(), "sweep point missing '{field}'");
+            }
+        }
+    }
+
+    // Sanity floors: exact properties of the codes, independent of trial
+    // count and build mode.
+    let mirror = r.code("mirror").at(1);
+    assert!(
+        (mirror.repair_blocks_per_lost - 1.0).abs() < 1e-12,
+        "mirroring must repair exactly 1 block per lost block, got {}",
+        mirror.repair_blocks_per_lost
+    );
+    let raid5 = r.code("raid5").at(1);
+    assert_eq!(
+        raid5.devices_contacted, 11.0,
+        "RAID5 rebuild must contact the other n - 1 = 11 drawer members"
+    );
+    assert_eq!(
+        r.code("tornado").at(1).p_loss,
+        0.0,
+        "tornado must survive every single-device loss"
+    );
+
+    if quick {
+        println!("--quick: schema valid, sanity floors hold, JSON not written");
+        return;
+    }
+    if cfg!(debug_assertions) {
+        println!("debug build: not writing JSON (commit release numbers only)");
+        return;
+    }
+    if check_only {
+        println!("--check: floors hold, JSON left untouched");
+        return;
+    }
+
+    // The bin lives two levels below the workspace root.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repair_bandwidth.json");
+    std::fs::write(out, json).expect("write BENCH_repair_bandwidth.json");
+    println!("wrote {out}");
+}

@@ -46,6 +46,7 @@ fn main() {
         ("Serving-layer load test", exp::load_test::run),
         ("Data-plane kernels", exp::data_plane::run),
         ("Checksum-gated scrub tiers", exp::data_plane::run_scrub_modes),
+        ("Repair-bandwidth bake-off", exp::repair_bandwidth::run),
     ];
 
     let suite_start = Instant::now();

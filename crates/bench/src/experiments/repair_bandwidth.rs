@@ -1,0 +1,340 @@
+//! Repair-bandwidth bake-off across the code zoo (ROADMAP item 4).
+//!
+//! The fault-tolerance experiments rank codes by P(loss) alone; the
+//! repair-bandwidth literature (Park et al.'s LDPC arrays, the Dimakis
+//! regenerating-codes line) argues that what a repair *costs* is an equal
+//! design axis. This experiment runs every graph family the generators
+//! produce — plus the paper's RAID5/RAID6 drawer systems in closed form —
+//! through one unified sweep: x = devices offline, y = {P(loss), repair
+//! bytes per lost block, devices contacted per recovery}.
+//!
+//! Graph families are measured empirically: random offline patterns feed
+//! [`tornado_store::plan_repair`], whose guided repair cone is exactly
+//! what the scrubber reads, and [`RetrievalPlan::cost`] converts the plan
+//! into a [`RepairCost`] under the one-block-per-device layout. RAID rows
+//! are analytic: a RAID5 group of `g` devices rebuilds any single loss by
+//! reading the other `g - 1` members; RAID6 solves from any `g - 2`.
+//!
+//! [`RetrievalPlan::cost`]: tornado_store::RetrievalPlan::cost
+//! [`RepairCost`]: tornado_store::RepairCost
+
+use crate::effort::Effort;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use tornado_gen::TornadoParams;
+use tornado_graph::{Graph, NodeId};
+use tornado_raid::GroupSystem;
+use tornado_store::plan_repair;
+
+/// Block size the byte columns assume (costs scale linearly with it).
+pub const BLOCK_BYTES: usize = 65_536;
+
+/// One (code, devices-offline) measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// Devices offline.
+    pub k: usize,
+    /// Fraction of offline patterns the code could not repair.
+    pub p_loss: f64,
+    /// Mean blocks read per lost block, over repairable patterns.
+    pub repair_blocks_per_lost: f64,
+    /// Mean bytes read per lost block ([`BLOCK_BYTES`]-byte blocks).
+    pub repair_bytes_per_lost: f64,
+    /// Mean distinct devices contacted per repair.
+    pub devices_contacted: f64,
+    /// Mean longest dependency chain in the repair schedule.
+    pub recovery_depth: f64,
+}
+
+/// One code's full sweep.
+#[derive(Clone, Debug)]
+pub struct CodeReport {
+    /// Stable code label (JSON schema key).
+    pub code: &'static str,
+    /// `"graph"` (empirical, via `plan_repair`) or `"analytic"`.
+    pub kind: &'static str,
+    /// Total devices in the system.
+    pub nodes: usize,
+    /// Data devices presented to the user.
+    pub data: usize,
+    /// Storage overhead: total devices per data device.
+    pub overhead: f64,
+    /// Points in ascending `k`.
+    pub sweep: Vec<SweepPoint>,
+}
+
+impl CodeReport {
+    /// Looks a sweep point up by offline count.
+    pub fn at(&self, k: usize) -> &SweepPoint {
+        self.sweep
+            .iter()
+            .find(|p| p.k == k)
+            .unwrap_or_else(|| panic!("{}: no sweep point at k = {k}", self.code))
+    }
+}
+
+/// The whole bake-off.
+#[derive(Clone, Debug)]
+pub struct RepairBandwidthReport {
+    /// Block size the byte columns assume.
+    pub block_bytes: usize,
+    /// Random offline patterns per (graph code, k).
+    pub trials_per_k: u64,
+    /// Offline counts swept.
+    pub ks: Vec<usize>,
+    /// One report per code, generator order then analytic.
+    pub codes: Vec<CodeReport>,
+}
+
+impl RepairBandwidthReport {
+    /// Looks a code up by label.
+    pub fn code(&self, code: &str) -> &CodeReport {
+        self.codes
+            .iter()
+            .find(|c| c.code == code)
+            .unwrap_or_else(|| panic!("no code {code}"))
+    }
+}
+
+/// Sweeps one graph-family code empirically.
+fn sweep_graph(
+    code: &'static str,
+    graph: &Graph,
+    ks: &[usize],
+    trials: u64,
+    seed: u64,
+) -> CodeReport {
+    let n = graph.num_nodes();
+    let mut sweep = Vec::with_capacity(ks.len());
+    for (ki, &k) in ks.iter().enumerate() {
+        // One rng stream per (code, k): adding a k to the sweep never
+        // reshuffles the patterns of the others.
+        let mut rng = SmallRng::seed_from_u64(
+            seed ^ (code.len() as u64) << 48 ^ (graph.fingerprint() << 8) ^ ki as u64,
+        );
+        let mut losses = 0u64;
+        let mut repaired = 0u64;
+        let (mut blocks, mut devices, mut depth) = (0f64, 0f64, 0f64);
+        let mut ids: Vec<NodeId> = (0..n as NodeId).collect();
+        for _ in 0..trials {
+            // Shuffle-and-split: the first k ids are the offline pattern,
+            // the rest are the surviving devices.
+            ids.shuffle(&mut rng);
+            let mut available: Vec<NodeId> = ids[k.min(n)..].to_vec();
+            available.sort_unstable();
+            match plan_repair(graph, &available) {
+                None => losses += 1,
+                Some(plan) => {
+                    let cost = plan.cost(graph, BLOCK_BYTES);
+                    repaired += 1;
+                    blocks += cost.blocks_fetched as f64 / k as f64;
+                    devices += cost.devices_contacted as f64;
+                    depth += cost.recovery_depth as f64;
+                }
+            }
+        }
+        let mean = |sum: f64| if repaired == 0 { 0.0 } else { sum / repaired as f64 };
+        sweep.push(SweepPoint {
+            k,
+            p_loss: losses as f64 / trials as f64,
+            repair_blocks_per_lost: mean(blocks),
+            repair_bytes_per_lost: mean(blocks) * BLOCK_BYTES as f64,
+            devices_contacted: mean(devices),
+            recovery_depth: mean(depth),
+        });
+    }
+    CodeReport {
+        code,
+        kind: "graph",
+        nodes: n,
+        data: graph.num_data(),
+        overhead: n as f64 / graph.num_data() as f64,
+        sweep,
+    }
+}
+
+/// Sweeps a drawer-parity system in closed form. A surviving group of
+/// size `g` with tolerance `t` rebuilds each lost member by reading
+/// `g - t` of the others (RAID5: the remaining `g - 1`; RAID6: any
+/// `g - 2`), and every read is a distinct device — a flat, depth-1 repair.
+fn sweep_raid(code: &'static str, sys: &GroupSystem, ks: &[usize]) -> CodeReport {
+    let nodes = sys.data_devices() + sys.parity_devices();
+    let group = nodes / sys.layout.groups();
+    let reads = (group - sys.tolerance) as f64;
+    let sweep = ks
+        .iter()
+        .map(|&k| SweepPoint {
+            k,
+            p_loss: sys.failure_probability(k),
+            repair_blocks_per_lost: reads,
+            repair_bytes_per_lost: reads * BLOCK_BYTES as f64,
+            devices_contacted: reads,
+            recovery_depth: 1.0,
+        })
+        .collect();
+    CodeReport {
+        code,
+        kind: "analytic",
+        nodes,
+        data: sys.data_devices(),
+        overhead: nodes as f64 / sys.data_devices() as f64,
+        sweep,
+    }
+}
+
+/// Runs the whole bake-off: six generator families plus the two paper
+/// RAID systems, all at 96-device scale.
+pub fn measure(trials_per_k: u64, ks: &[usize], seed: u64) -> RepairBandwidthReport {
+    let params = TornadoParams::paper_96();
+    let tornado = tornado_core::tornado_graph_1();
+    let doubled = tornado_gen::altered::generate_doubled(params, seed).expect("doubled");
+    let shifted = tornado_gen::altered::generate_shifted(params, seed).expect("shifted");
+    let regular = tornado_gen::regular::generate_regular(48, 4, seed).expect("regular");
+    let cascade =
+        tornado_gen::cascaded::generate_fixed_degree(params, 4, seed).expect("cascade");
+    let mirror = tornado_gen::mirror::generate_mirror(48).expect("mirror");
+
+    let graphs: [(&'static str, &Graph); 6] = [
+        ("tornado", &tornado),
+        ("tornado_doubled", &doubled),
+        ("tornado_shifted", &shifted),
+        ("regular_d4", &regular),
+        ("cascade_fixed_d4", &cascade),
+        ("mirror", &mirror),
+    ];
+    let mut codes: Vec<CodeReport> = graphs
+        .iter()
+        .map(|(code, g)| sweep_graph(code, g, ks, trials_per_k, seed))
+        .collect();
+    codes.push(sweep_raid("raid5", &GroupSystem::raid5_paper(), ks));
+    codes.push(sweep_raid("raid6", &GroupSystem::raid6_paper(), ks));
+
+    RepairBandwidthReport {
+        block_bytes: BLOCK_BYTES,
+        trials_per_k,
+        ks: ks.to_vec(),
+        codes,
+    }
+}
+
+/// Effort → sweep shape: the full sweep reaches the interesting loss
+/// region (k = 8 is past every family's worst-case bound); smoke efforts
+/// shrink trials, never the schema.
+pub fn sweep_config(effort: &Effort) -> (u64, Vec<usize>) {
+    let trials = (effort.mc_trials / 20).clamp(25, 5_000);
+    (trials, (1..=8).collect())
+}
+
+/// Runs the bake-off and formats the EXPERIMENTS.md table.
+pub fn run(effort: &Effort) -> String {
+    let (trials, ks) = sweep_config(effort);
+    let r = measure(trials, &ks, effort.seed);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Repair-bandwidth bake-off: {} random offline patterns per (code, k), {} KiB blocks",
+        r.trials_per_k,
+        r.block_bytes / 1024
+    );
+    let _ = writeln!(
+        out,
+        "code, kind, overhead, k, p_loss, repair_blocks_per_lost, devices_contacted, depth"
+    );
+    for c in &r.codes {
+        for p in &c.sweep {
+            let _ = writeln!(
+                out,
+                "{}, {}, {:.2}, {}, {:.4}, {:.2}, {:.2}, {:.2}",
+                c.code,
+                c.kind,
+                c.overhead,
+                p.k,
+                p.p_loss,
+                p.repair_blocks_per_lost,
+                p.devices_contacted,
+                p.recovery_depth
+            );
+        }
+    }
+    let mirror1 = r.code("mirror").at(1);
+    let tornado1 = r.code("tornado").at(1);
+    let _ = writeln!(
+        out,
+        "mirroring repairs {:.0} block/block at depth {:.0}; tornado reads {:.1} blocks/block \
+         from {:.1} devices — the bandwidth price of surviving what mirroring cannot",
+        mirror1.repair_blocks_per_lost,
+        mirror1.recovery_depth,
+        tornado1.repair_blocks_per_lost,
+        tornado1.devices_contacted
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_every_family_and_analytic_row() {
+        let r = measure(25, &[1, 2], 7);
+        assert_eq!(r.codes.len(), 8);
+        assert!(r.codes.iter().filter(|c| c.kind == "graph").count() >= 6);
+        for c in &r.codes {
+            assert_eq!(c.sweep.len(), 2, "{}", c.code);
+            assert!(c.overhead >= 1.0, "{}", c.code);
+        }
+    }
+
+    #[test]
+    fn mirror_repairs_one_block_per_block() {
+        let r = measure(50, &[1], 3);
+        let p = r.code("mirror").at(1);
+        assert_eq!(p.p_loss, 0.0, "one loss never defeats a mirror pair");
+        assert!(
+            (p.repair_blocks_per_lost - 1.0).abs() < 1e-12,
+            "a mirror repair reads exactly the surviving copy, got {}",
+            p.repair_blocks_per_lost
+        );
+        assert!((p.devices_contacted - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raid_rows_match_the_closed_form() {
+        let r = measure(25, &[1, 2, 3], 3);
+        let raid5 = r.code("raid5");
+        assert_eq!(raid5.at(1).devices_contacted, 11.0, "reads the other 11");
+        assert_eq!(raid5.at(1).p_loss, 0.0, "RAID5 survives any single loss");
+        assert!(raid5.at(2).p_loss > 0.0, "two losses can share a drawer");
+        let raid6 = r.code("raid6");
+        assert_eq!(raid6.at(1).devices_contacted, 10.0, "solves from any 10");
+        assert_eq!(raid6.at(2).p_loss, 0.0, "RAID6 survives any double loss");
+    }
+
+    #[test]
+    fn tornado_single_loss_is_always_repairable() {
+        let r = measure(50, &[1], 11);
+        let p = r.code("tornado").at(1);
+        assert_eq!(p.p_loss, 0.0);
+        assert!(p.repair_blocks_per_lost >= 1.0, "a repair reads something");
+        assert!(p.recovery_depth >= 1.0);
+    }
+
+    #[test]
+    fn run_formats_every_code_row() {
+        let report = run(&Effort::smoke());
+        for code in [
+            "tornado,",
+            "tornado_doubled,",
+            "tornado_shifted,",
+            "regular_d4,",
+            "cascade_fixed_d4,",
+            "mirror,",
+            "raid5,",
+            "raid6,",
+        ] {
+            assert!(report.contains(code), "missing row {code}:\n{report}");
+        }
+    }
+}

@@ -306,6 +306,14 @@ pub fn scrub(args: &ParsedArgs) -> CmdResult {
     println!("degraded stripes:    {}", outcome.degraded_count());
     println!("urgent stripes:      {}", outcome.urgent_count());
     println!("blocks repaired:     {}", outcome.blocks_repaired);
+    let repair_cost = outcome.repair_cost();
+    println!(
+        "repair cost:         {} bytes / {} blocks / {} device contacts (max depth {})",
+        repair_cost.bytes_read,
+        repair_cost.blocks_fetched,
+        repair_cost.devices_contacted,
+        repair_cost.recovery_depth
+    );
     println!("objects incomplete:  {}", outcome.objects_incomplete.len());
     for s in outcome.stripes.iter().filter(|s| s.degraded()) {
         println!(
@@ -705,6 +713,10 @@ pub fn load(args: &ParsedArgs) -> CmdResult {
             report.devices_failed, report.degraded_reads
         );
     }
+    println!(
+        "repair: {} replans; {} repair bytes read by degraded GETs",
+        report.replans, report.repair_bytes
+    );
 
     if let Some(path) = args.get("metrics") {
         report
@@ -733,8 +745,8 @@ pub fn watch(args: &ParsedArgs) -> CmdResult {
     let mut client =
         tornado_server::Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
 
-    println!("{:>10} {:>9} {:>9} {:>9} {:>9} {:>11} {:>10} {:>12}",
-        "req/s", "put/s", "get/s", "busy/s", "degr/s", "MB out/s", "scrub/s", "window req/s");
+    println!("{:>10} {:>9} {:>9} {:>9} {:>9} {:>11} {:>11} {:>10} {:>12}",
+        "req/s", "put/s", "get/s", "busy/s", "degr/s", "MB out/s", "rep MB/s", "scrub/s", "window req/s");
     let mut tick = 0u64;
     loop {
         tick += 1;
@@ -760,13 +772,16 @@ pub fn watch(args: &ParsedArgs) -> CmdResult {
             let scrub_rate =
                 rate("scrub.skipped") + rate("scrub.verified") + rate("scrub.decoded");
             println!(
-                "{:>10.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>11.2} {:>10.1} {:>12.1}",
+                "{:>10.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>11.2} {:>11.2} {:>10.1} {:>12.1}",
                 rate("server.requests"),
                 rate("server.put"),
                 rate("server.get"),
                 rate("server.busy_rejected"),
                 rate("server.get.degraded"),
                 rate("server.bytes_out") / (1024.0 * 1024.0),
+                // Repair bandwidth: check-block bytes degraded GETs pulled
+                // plus scrub decode-tier reads, per second.
+                rate("repair.bytes_read") / (1024.0 * 1024.0),
                 scrub_rate,
                 series.window_rate("server.requests").unwrap_or(0.0),
             );

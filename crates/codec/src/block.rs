@@ -15,6 +15,11 @@ pub struct DecodeReport {
     pub lost_data: Vec<NodeId>,
     /// Nodes recovered by the peeling schedule, in recovery order.
     pub recovered: Vec<NodeId>,
+    /// Longest dependency chain in the recovery schedule: 0 when nothing
+    /// was recovered, 1 when every lost block was rebuilt directly from
+    /// surviving blocks, deeper when recovered blocks fed later steps —
+    /// the serial-latency component of a recovery's repair cost.
+    pub recovery_depth: u64,
 }
 
 impl DecodeReport {
@@ -160,6 +165,11 @@ impl<'g> Codec<'g> {
         }
 
         let mut recovered = Vec::with_capacity(detail.schedule.len());
+        // Depth of each node's value in the recovery dependency chain:
+        // blocks that survived sit at depth 0, each recovered block is one
+        // deeper than its deepest input.
+        let mut depth = vec![0u64; n];
+        let mut recovery_depth = 0u64;
         for step in &detail.schedule {
             match *step {
                 RecoveryStep::Peel { node, via } => {
@@ -168,26 +178,34 @@ impl<'g> Codec<'g> {
                         .as_deref()
                         .expect("schedule guarantees via is present");
                     let mut acc = pool::with_thread_pool(|p| p.take_copy(via_block));
+                    let mut d = depth[via as usize];
                     for &nbr in self.graph.check_neighbors(via) {
                         if nbr != node {
                             let b = stored[nbr as usize]
                                 .as_ref()
                                 .expect("schedule guarantees the other neighbours are present");
                             xor_into(&mut acc, b);
+                            d = d.max(depth[nbr as usize]);
                         }
                     }
                     stored[node as usize] = Some(acc);
+                    depth[node as usize] = d + 1;
+                    recovery_depth = recovery_depth.max(d + 1);
                     recovered.push(node);
                 }
                 RecoveryStep::Reencode { node } => {
                     let mut acc = pool::with_thread_pool(|p| p.take_zeroed(block_len));
+                    let mut d = 0u64;
                     for &nbr in self.graph.check_neighbors(node) {
                         let b = stored[nbr as usize]
                             .as_ref()
                             .expect("schedule guarantees the neighbours are present");
                         xor_into(&mut acc, b);
+                        d = d.max(depth[nbr as usize]);
                     }
                     stored[node as usize] = Some(acc);
+                    depth[node as usize] = d + 1;
+                    recovery_depth = recovery_depth.max(d + 1);
                     recovered.push(node);
                 }
             }
@@ -195,6 +213,7 @@ impl<'g> Codec<'g> {
         Ok(DecodeReport {
             lost_data: detail.lost_data,
             recovered,
+            recovery_depth,
         })
     }
 

@@ -183,6 +183,7 @@ impl ReedSolomon {
             return Ok(crate::DecodeReport {
                 lost_data: vec![],
                 recovered: vec![],
+                recovery_depth: 0,
             });
         }
         let present: Vec<usize> = (0..self.n).filter(|&i| stored[i].is_some()).collect();
@@ -190,6 +191,7 @@ impl ReedSolomon {
             return Ok(crate::DecodeReport {
                 lost_data: missing_data,
                 recovered: vec![],
+                recovery_depth: 0,
             });
         }
         // Solve A · data = observed for the first k present blocks.
@@ -239,9 +241,13 @@ impl ReedSolomon {
                 crate::pool::with_thread_pool(|p| p.recycle(block));
             }
         }
+        // MDS solve: every recovered block comes straight from surviving
+        // blocks, so the dependency chain is flat.
+        let recovery_depth = u64::from(!recovered.is_empty());
         Ok(crate::DecodeReport {
             lost_data: vec![],
             recovered,
+            recovery_depth,
         })
     }
 }

@@ -243,6 +243,15 @@ impl ExecTrace<'_> {
     }
 }
 
+/// A recovery whose peeling schedule chained this deep is "expensive":
+/// deep chains mean many sequential decode dependencies, the slow tail of
+/// degraded reads.
+const EXPENSIVE_RECOVERY_DEPTH: u64 = 3;
+
+/// A recovery that pulled this many repair-class bytes (check blocks) is
+/// "expensive" regardless of depth.
+const EXPENSIVE_RECOVERY_BYTES: u64 = 1 << 20;
+
 /// Runs one operation against the store and maps the result onto the wire.
 fn execute(
     op: &Op,
@@ -289,9 +298,33 @@ fn execute(
             }
             match result {
                 Ok((payload, stats)) => {
+                    obs.replans.add(stats.replans as u64);
+                    obs.get_repair_bytes.add(stats.repair_bytes_read);
+                    obs.get_devices_contacted.add(stats.cost.devices_contacted);
                     if stats.degraded() {
                         obs.degraded_reads.inc();
                         obs.blocks_recovered.add(stats.blocks_recovered as u64);
+                        // An expensive recovery (deep schedule or lots of
+                        // repair traffic) is worth an event even when the
+                        // request was not trace-sampled.
+                        if stats.cost.recovery_depth >= EXPENSIVE_RECOVERY_DEPTH
+                            || stats.repair_bytes_read >= EXPENSIVE_RECOVERY_BYTES
+                        {
+                            obs.events.emit(
+                                "expensive_recovery",
+                                &[
+                                    ("id", Json::U64(*id)),
+                                    ("bytes_read", Json::U64(stats.cost.bytes_read)),
+                                    ("repair_bytes_read", Json::U64(stats.repair_bytes_read)),
+                                    (
+                                        "devices_contacted",
+                                        Json::U64(stats.cost.devices_contacted),
+                                    ),
+                                    ("recovery_depth", Json::U64(stats.cost.recovery_depth)),
+                                    ("replans", Json::U64(stats.replans as u64)),
+                                ],
+                            );
+                        }
                     }
                     obs.bytes_out.add(payload.len() as u64);
                     Response::GetOk { payload }
@@ -383,7 +416,11 @@ fn record_get_phases(
     phase(
         "store.fetch",
         stats.fetch_us,
-        vec![("blocks_fetched", Json::U64(stats.blocks_fetched as u64))],
+        vec![
+            ("blocks_fetched", Json::U64(stats.blocks_fetched as u64)),
+            ("bytes_read", Json::U64(stats.cost.bytes_read)),
+            ("devices_contacted", Json::U64(stats.cost.devices_contacted)),
+        ],
     );
     if stats.blocks_recovered > 0 {
         phase(
@@ -392,6 +429,8 @@ fn record_get_phases(
             vec![
                 ("blocks_recovered", Json::U64(stats.blocks_recovered as u64)),
                 ("replans", Json::U64(stats.replans as u64)),
+                ("repair_bytes_read", Json::U64(stats.repair_bytes_read)),
+                ("recovery_depth", Json::U64(stats.cost.recovery_depth)),
             ],
         );
     }
@@ -513,12 +552,29 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(obs.degraded_reads.get() >= 1, "read through 4 failures is degraded");
+        assert!(
+            obs.get_repair_bytes.get() > 0,
+            "a degraded GET reads check blocks, which are repair-class bytes"
+        );
+        assert!(obs.get_devices_contacted.get() > 0);
         match roundtrip(&engine, Op::Metrics) {
             Response::MetricsOk { json } => {
                 let doc = tornado_obs::json::parse(&json).unwrap();
                 tornado_obs::snapshot::validate(&doc).unwrap();
                 let counters = doc.get("counters").unwrap();
                 assert!(counters.get("server.get.degraded").unwrap().as_u64().unwrap() >= 1);
+                assert!(
+                    counters.get("server.get.repair_bytes").unwrap().as_u64().unwrap() > 0,
+                    "repair-cost counters must surface through METRICS"
+                );
+                assert!(
+                    counters
+                        .get("server.get.devices_contacted")
+                        .unwrap()
+                        .as_u64()
+                        .unwrap()
+                        > 0
+                );
                 let gauges = doc.get("gauges").unwrap();
                 assert_eq!(gauges.get("device.offline").unwrap().as_u64(), Some(4));
             }

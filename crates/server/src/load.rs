@@ -171,6 +171,12 @@ pub struct LoadReport {
     pub devices_failed: Vec<u32>,
     /// `server.get.degraded` from the server's final metrics snapshot.
     pub degraded_reads: u64,
+    /// `server.get.replans` from the server's final metrics snapshot —
+    /// GETs that had to fall back to a wider plan mid-fetch.
+    pub replans: u64,
+    /// `server.get.repair_bytes` from the server's final metrics snapshot
+    /// — repair-class (check-block) bytes the degraded GETs pulled.
+    pub repair_bytes: u64,
     /// The server's final `tornado-metrics-v1` snapshot (pretty JSON).
     pub server_metrics_json: String,
     /// Trace ids the server's deterministic sampler will have kept
@@ -208,6 +214,8 @@ impl LoadReport {
             .counter_value("load.payload_mismatches", self.payload_mismatches)
             .counter_value("load.devices_failed", self.devices_failed.len() as u64)
             .counter_value("load.degraded_reads", self.degraded_reads)
+            .counter_value("load.replans", self.replans)
+            .counter_value("load.repair_bytes", self.repair_bytes)
             .counter_value("load.sampled_traces", self.sampled_trace_ids.len() as u64)
             .histogram("load.latency_us", &self.latency_us);
         if !self.slowest.is_empty() {
@@ -390,6 +398,8 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
         latency_us: Histogram::new(),
         devices_failed,
         degraded_reads: 0,
+        replans: 0,
+        repair_bytes: 0,
         server_metrics_json: String::new(),
         sampled_trace_ids: Vec::new(),
         slowest: Vec::new(),
@@ -416,11 +426,12 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
 
     report.server_metrics_json = admin.metrics()?;
     if let Ok(doc) = tornado_obs::json::parse(&report.server_metrics_json) {
-        report.degraded_reads = doc
-            .get("counters")
-            .and_then(|c| c.get("server.get.degraded"))
-            .and_then(Json::as_u64)
-            .unwrap_or(0);
+        let counter = |key: &str| {
+            doc.get("counters").and_then(|c| c.get(key)).and_then(Json::as_u64).unwrap_or(0)
+        };
+        report.degraded_reads = counter("server.get.degraded");
+        report.replans = counter("server.get.replans");
+        report.repair_bytes = counter("server.get.repair_bytes");
     }
     Ok(report)
 }

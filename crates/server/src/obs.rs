@@ -59,6 +59,14 @@ pub struct ServerObserver {
     pub degraded_reads: Counter,
     /// Blocks reconstructed by the decoder across all GETs.
     pub blocks_recovered: Counter,
+    /// Retrieval replans across all GETs (a planned block turned out
+    /// corrupt or racily lost mid-fetch) — the satellite export of
+    /// `GetStats::replans`.
+    pub replans: Counter,
+    /// Repair-class bytes (check-block fetches) read to serve GETs.
+    pub get_repair_bytes: Counter,
+    /// Devices contacted by GETs, summed per request.
+    pub get_devices_contacted: Counter,
     /// Object payload bytes received via PUT.
     pub bytes_in: Counter,
     /// Object payload bytes served via GET.
@@ -101,6 +109,9 @@ impl ServerObserver {
             errors: Counter::new(),
             degraded_reads: Counter::new(),
             blocks_recovered: Counter::new(),
+            replans: Counter::new(),
+            get_repair_bytes: Counter::new(),
+            get_devices_contacted: Counter::new(),
             bytes_in: Counter::new(),
             bytes_out: Counter::new(),
             queue_depth: Gauge::new(),
@@ -168,9 +179,17 @@ impl ServerObserver {
                 ("server.busy_rejected".into(), self.busy_rejected.get()),
                 ("server.deadline_exceeded".into(), self.deadline_exceeded.get()),
                 ("server.get.degraded".into(), self.degraded_reads.get()),
+                ("server.get.replans".into(), self.replans.get()),
                 ("server.bytes_in".into(), self.bytes_in.get()),
                 ("server.bytes_out".into(), self.bytes_out.get()),
                 ("server.errors".into(), self.errors.get()),
+                // Repair bandwidth: GET-side check-block fetches plus the
+                // scrub decode tier's stripe reads. `watch` derives its
+                // repair-MB/s column from this.
+                (
+                    "repair.bytes_read".into(),
+                    self.get_repair_bytes.get() + self.store_obs.repair_bytes_read.get(),
+                ),
                 // Scrub-tier activity: a background scrub loop shows up
                 // here as skipped/verified/decoded rates, so `watch` can
                 // tell a healthy skip-mostly cadence from one that is
@@ -199,6 +218,9 @@ impl ServerObserver {
             .counter("server.errors", &self.errors)
             .counter("server.get.degraded", &self.degraded_reads)
             .counter("server.get.blocks_recovered", &self.blocks_recovered)
+            .counter("server.get.replans", &self.replans)
+            .counter("server.get.repair_bytes", &self.get_repair_bytes)
+            .counter("server.get.devices_contacted", &self.get_devices_contacted)
             .counter("server.bytes_in", &self.bytes_in)
             .counter("server.bytes_out", &self.bytes_out)
             .counter_value("trace.spans_recorded", self.tracer.recorded())
@@ -285,6 +307,30 @@ mod tests {
     }
 
     #[test]
+    fn timeseries_samples_carry_repair_and_replan_counters() {
+        let obs = ServerObserver::disabled();
+        obs.replans.add(2);
+        obs.get_repair_bytes.add(4096);
+        obs.store_obs.repair_bytes_read.add(1024);
+        obs.sample_timeseries(50);
+        let points =
+            tornado_obs::timeseries::points_from_json(&obs.timeseries.to_json()).unwrap();
+        let p = &points[0];
+        let value = |k: &str| {
+            p.values
+                .iter()
+                .find(|(name, _)| name == k)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(value("server.get.replans"), Some(2));
+        assert_eq!(
+            value("repair.bytes_read"),
+            Some(5120),
+            "GET-side and scrub-side repair bytes combine"
+        );
+    }
+
+    #[test]
     fn snapshot_carries_request_counters_and_validates() {
         let obs = ServerObserver::disabled();
         obs.count_op("put");
@@ -304,6 +350,20 @@ mod tests {
         assert_eq!(counters.get("server.requests").unwrap().as_u64(), Some(4));
         assert_eq!(counters.get("server.get").unwrap().as_u64(), Some(2));
         assert_eq!(counters.get("server.get.degraded").unwrap().as_u64(), Some(1));
+        // The repair-cost accounting layer's counters are always present
+        // (zero on an idle server), so dashboards never miss the key.
+        for name in [
+            "server.get.replans",
+            "server.get.repair_bytes",
+            "server.get.devices_contacted",
+            "repair.bytes_read",
+            "repair.blocks_fetched",
+            "repair.devices_contacted",
+            "federation.bytes_crossed",
+            "federation.blocks_crossed",
+        ] {
+            assert_eq!(counters.get(name).unwrap().as_u64(), Some(0), "{name}");
+        }
         let gauges = doc.get("gauges").unwrap();
         assert_eq!(gauges.get("server.queue_depth").unwrap().as_u64(), Some(2));
         assert_eq!(gauges.get("server.queue_depth_peak").unwrap().as_u64(), Some(5));

@@ -24,6 +24,19 @@ pub enum BlockProbe {
     Corrupt,
 }
 
+/// Why a block is being read — the attribution axis of the repair-cost
+/// accounting layer. Devices tally bytes separately per class so "how much
+/// of this disk's traffic is repair?" is answerable without sampling.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReadClass {
+    /// A read serving user data directly (a data block fetched for a GET).
+    #[default]
+    Payload,
+    /// A read feeding reconstruction: check blocks for a degraded GET,
+    /// scrub tier-3 stripe reads, federation cross-site fetches.
+    Repair,
+}
+
 /// Access/health counters for a device.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DeviceStats {
@@ -39,6 +52,21 @@ pub struct DeviceStats {
     /// scrub verify tier's accesses, counted separately from `reads`
     /// because no block bytes leave the device.
     pub verifies: u64,
+    /// Total bytes served by successful reads (all classes).
+    pub bytes_read: u64,
+    /// Subset of [`DeviceStats::bytes_read`] served to
+    /// [`ReadClass::Repair`] readers.
+    pub bytes_repair_read: u64,
+}
+
+impl DeviceStats {
+    fn record_read(&mut self, len: usize, class: ReadClass) {
+        self.reads += 1;
+        self.bytes_read += len as u64;
+        if class == ReadClass::Repair {
+            self.bytes_repair_read += len as u64;
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -108,27 +136,34 @@ impl Device {
         true
     }
 
-    /// Reads a block; `None` when offline or absent.
+    /// Reads a block; `None` when offline or absent. Attributed as a
+    /// [`ReadClass::Payload`] read.
     pub fn read_block(&self, key: &BlockKey) -> Option<Vec<u8>> {
+        self.read_block_classed(key, ReadClass::Payload)
+    }
+
+    /// Reads a block attributed to `class`; `None` when offline or absent.
+    pub fn read_block_classed(&self, key: &BlockKey, class: ReadClass) -> Option<Vec<u8>> {
         let mut s = self.state.write();
         if !s.online {
             s.stats.failed_reads += 1;
             return None;
         }
         let block = s.blocks.get(key).cloned();
-        if block.is_some() {
-            s.stats.reads += 1;
+        if let Some(b) = &block {
+            s.stats.record_read(b.len(), class);
         }
         block
     }
 
     /// Like [`Device::read_block`], but copies into a buffer recycled from
     /// `pool` instead of a fresh allocation — the serving path's read
-    /// primitive.
+    /// primitive. Bytes are attributed to `class`.
     pub fn read_block_pooled(
         &self,
         key: &BlockKey,
         pool: &mut tornado_codec::BlockPool,
+        class: ReadClass,
     ) -> Option<Vec<u8>> {
         let mut s = self.state.write();
         if !s.online {
@@ -136,8 +171,8 @@ impl Device {
             return None;
         }
         let block = s.blocks.get(key).map(|b| pool.take_copy(b));
-        if block.is_some() {
-            s.stats.reads += 1;
+        if let Some(b) = &block {
+            s.stats.record_read(b.len(), class);
         }
         block
     }
@@ -259,6 +294,23 @@ mod tests {
         d.fail();
         assert_eq!(d.verify_block(&(1, 0), sum), BlockProbe::Missing);
         assert_eq!(d.stats().failed_reads, 1);
+    }
+
+    #[test]
+    fn read_bytes_are_attributed_per_class() {
+        let d = Device::new(0);
+        d.write_block((1, 0), vec![7u8; 64]);
+        assert!(d.read_block(&(1, 0)).is_some());
+        assert!(d.read_block_classed(&(1, 0), ReadClass::Repair).is_some());
+        let mut pool = tornado_codec::BlockPool::default();
+        assert!(d.read_block_pooled(&(1, 0), &mut pool, ReadClass::Repair).is_some());
+        assert!(d.read_block_pooled(&(1, 0), &mut pool, ReadClass::Payload).is_some());
+        let s = d.stats();
+        assert_eq!(s.reads, 4);
+        assert_eq!(s.bytes_read, 4 * 64);
+        assert_eq!(s.bytes_repair_read, 2 * 64);
+        assert!(d.read_block_classed(&(9, 9), ReadClass::Repair).is_none());
+        assert_eq!(d.stats().bytes_read, 4 * 64, "misses serve no bytes");
     }
 
     #[test]

@@ -15,9 +15,11 @@
 //! graphs cannot independently perform the reconstruction."
 
 use crate::error::StoreError;
+use crate::obs::StoreObserver;
 use crate::store::{ArchivalStore, ObjectId, ObjectMeta};
 use tornado_codec::Codec;
 use tornado_graph::{Graph, NodeId};
+use tornado_obs::Json;
 use tornado_sim::multi::FederatedSystem;
 
 /// How a federated `get` was satisfied.
@@ -27,8 +29,29 @@ pub enum FetchPath {
     SiteA,
     /// Site B reconstructed alone.
     SiteB,
-    /// Only the joint cross-site decode succeeded.
-    CrossSite,
+    /// Only the joint cross-site decode succeeded. Carries the number of
+    /// site-B blocks pulled across the wire into the joint stripe — the
+    /// traffic a single-site read never pays.
+    CrossSite {
+        /// Remote (site B) blocks read for the joint decode.
+        blocks_crossed: usize,
+    },
+}
+
+/// What a [`FederatedStore::exchange_repair`] moved and restored. The
+/// crossed tallies are what the `federation.blocks_crossed` /
+/// `federation.bytes_crossed` counters are fed from, so the two views
+/// always agree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExchangeReport {
+    /// Blocks rewritten at either site.
+    pub blocks_restored: usize,
+    /// Blocks that moved between sites: remote blocks fetched for a joint
+    /// decode, plus blocks restored at the site that did *not* materialise
+    /// the payload.
+    pub blocks_crossed: usize,
+    /// Bytes those crossed blocks amount to.
+    pub bytes_crossed: u64,
 }
 
 /// Two sites storing the same objects under different Tornado graphs.
@@ -89,11 +112,13 @@ impl FederatedStore {
             Err(StoreError::Unrecoverable { .. }) => {}
             Err(e) => return Err(e),
         }
-        self.get_cross_site(id).map(|p| (p, FetchPath::CrossSite))
+        self.get_cross_site(id)
+            .map(|(p, blocks_crossed)| (p, FetchPath::CrossSite { blocks_crossed }))
     }
 
-    /// Joint decode over both sites' surviving blocks.
-    fn get_cross_site(&self, id: ObjectId) -> Result<Vec<u8>, StoreError> {
+    /// Joint decode over both sites' surviving blocks. Also reports how
+    /// many site-B blocks were pulled into the joint stripe.
+    fn get_cross_site(&self, id: ObjectId) -> Result<(Vec<u8>, usize), StoreError> {
         let meta_a = self
             .site_a
             .meta(id)
@@ -112,8 +137,11 @@ impl FederatedStore {
         for node in 0..n_a as NodeId {
             stored.push(self.site_a.read_raw_block(&meta_a, node));
         }
+        let mut blocks_crossed = 0usize;
         for node in 0..self.site_b.graph().num_nodes() as NodeId {
-            stored.push(self.site_b.read_raw_block(&meta_b, node));
+            let block = self.site_b.read_raw_block(&meta_b, node);
+            blocks_crossed += usize::from(block.is_some());
+            stored.push(block);
         }
 
         let codec = Codec::new(fed_graph);
@@ -130,14 +158,15 @@ impl FederatedStore {
             framed.extend_from_slice(block.as_ref().expect("decode complete"));
         }
         let len = u64::from_le_bytes(framed[..8].try_into().expect("length header")) as usize;
-        Ok(framed[8..8 + len].to_vec())
+        Ok((framed[8..8 + len].to_vec(), blocks_crossed))
     }
 
     /// Anti-entropy: copies blocks between sites so that each site's stripe
     /// for `id` is fully populated again where devices allow. This is the
     /// explicit "exchange a small number of blocks" repair of §1/§5.3.
-    /// Returns the number of blocks restored.
-    pub fn exchange_repair(&self, id: ObjectId) -> Result<usize, StoreError> {
+    /// Reports blocks restored and the cross-site traffic the exchange
+    /// moved (ROADMAP item 3's "count cross-site bytes moved").
+    pub fn exchange_repair(&self, id: ObjectId) -> Result<ExchangeReport, StoreError> {
         let meta_a = self
             .site_a
             .meta(id)
@@ -146,12 +175,56 @@ impl FederatedStore {
             .site_b
             .meta(id)
             .ok_or(StoreError::UnknownObject { id })?;
-        let (payload, _) = self.get(id)?;
+        let (payload, path) = self.get(id)?;
         // Re-encode per site and fill any readable-home gaps.
-        let mut restored = 0usize;
-        restored += refill_site(&self.site_a, &meta_a, &payload)?;
-        restored += refill_site(&self.site_b, &meta_b, &payload)?;
-        Ok(restored)
+        let restored_a = refill_site(&self.site_a, &meta_a, &payload)?;
+        let restored_b = refill_site(&self.site_b, &meta_b, &payload)?;
+        // The payload was materialised at one site (A for the joint decode,
+        // which assembles the federated stripe locally); refills at the
+        // *other* site are blocks pushed over the wire. Joint-decode pulls
+        // are crossed traffic on top.
+        let (joint_pulls, source_is_a) = match path {
+            FetchPath::SiteA => (0, true),
+            FetchPath::SiteB => (0, false),
+            FetchPath::CrossSite { blocks_crossed } => (blocks_crossed, true),
+        };
+        let pushed = if source_is_a { restored_b } else { restored_a };
+        let pushed_len = if source_is_a {
+            meta_b.block_len
+        } else {
+            meta_a.block_len
+        };
+        Ok(ExchangeReport {
+            blocks_restored: restored_a + restored_b,
+            blocks_crossed: joint_pulls + pushed,
+            bytes_crossed: joint_pulls as u64 * meta_b.block_len as u64
+                + pushed as u64 * pushed_len as u64,
+        })
+    }
+
+    /// [`FederatedStore::exchange_repair`] with the crossed traffic and
+    /// restored blocks recorded into `obs`'s federation counters and one
+    /// `exchange_repair` event emitted. The report is identical.
+    pub fn exchange_repair_observed(
+        &self,
+        id: ObjectId,
+        obs: &StoreObserver,
+    ) -> Result<ExchangeReport, StoreError> {
+        let report = self.exchange_repair(id)?;
+        obs.federation_exchanges.inc();
+        obs.federation_blocks_restored.add(report.blocks_restored as u64);
+        obs.federation_blocks_crossed.add(report.blocks_crossed as u64);
+        obs.federation_bytes_crossed.add(report.bytes_crossed);
+        obs.events.emit(
+            "exchange_repair",
+            &[
+                ("id", Json::U64(id)),
+                ("restored", Json::U64(report.blocks_restored as u64)),
+                ("blocks_crossed", Json::U64(report.blocks_crossed as u64)),
+                ("bytes_crossed", Json::U64(report.bytes_crossed)),
+            ],
+        );
+        Ok(report)
     }
 }
 
@@ -227,7 +300,12 @@ mod tests {
         ));
         let (payload, path) = fed.get(id).unwrap();
         assert_eq!(payload, b"only together");
-        assert_eq!(path, FetchPath::CrossSite);
+        match path {
+            FetchPath::CrossSite { blocks_crossed } => {
+                assert_eq!(blocks_crossed, 6, "site B's six surviving blocks crossed");
+            }
+            other => panic!("expected CrossSite, got {other:?}"),
+        }
     }
 
     #[test]
@@ -262,8 +340,10 @@ mod tests {
         let id = fed.put("x", b"repair me").unwrap();
         fed.site_a().fail_device(0).unwrap();
         fed.site_a().replace_device(0).unwrap();
-        let restored = fed.exchange_repair(id).unwrap();
-        assert_eq!(restored, 1);
+        let report = fed.exchange_repair(id).unwrap();
+        assert_eq!(report.blocks_restored, 1);
+        assert_eq!(report.blocks_crossed, 0, "site A repaired itself locally");
+        assert_eq!(report.bytes_crossed, 0);
         // Site A is self-sufficient again even if B goes dark.
         for d in 0..8 {
             fed.site_b().fail_device(d).unwrap();
@@ -271,5 +351,48 @@ mod tests {
         let (payload, path) = fed.get(id).unwrap();
         assert_eq!(payload, b"repair me");
         assert_eq!(path, FetchPath::SiteA);
+    }
+
+    #[test]
+    fn exchange_repair_counts_cross_site_traffic() {
+        // Site A healthy, site B loses block 1's pair and gets replacement
+        // drives: the payload comes from A and both of B's refilled blocks
+        // cross the wire.
+        let fed = two_mirror_sites();
+        let id = fed.put("x", b"cross-site bytes move").unwrap();
+        let block_len = fed.site_b().meta(id).unwrap().block_len;
+        fed.site_b().fail_device(1).unwrap();
+        fed.site_b().fail_device(5).unwrap();
+        fed.site_b().replace_device(1).unwrap();
+        fed.site_b().replace_device(5).unwrap();
+        let report = fed.exchange_repair(id).unwrap();
+        assert_eq!(report.blocks_restored, 2);
+        assert_eq!(report.blocks_crossed, 2);
+        assert_eq!(report.bytes_crossed, 2 * block_len as u64);
+    }
+
+    #[test]
+    fn observed_exchange_agrees_with_the_counter() {
+        // The satellite invariant: the counter is fed from the report, so
+        // the two views of "bytes crossed" can never drift.
+        let fed = two_mirror_sites();
+        let id = fed.put("x", b"ledger must balance").unwrap();
+        fed.site_b().fail_device(2).unwrap();
+        fed.site_b().replace_device(2).unwrap();
+        fed.site_a().fail_device(3).unwrap();
+        fed.site_a().replace_device(3).unwrap();
+        let obs = StoreObserver::disabled();
+        let first = fed.exchange_repair_observed(id, &obs).unwrap();
+        assert!(first.blocks_restored >= 2);
+        assert_eq!(obs.federation_bytes_crossed.get(), first.bytes_crossed);
+        assert_eq!(obs.federation_blocks_crossed.get(), first.blocks_crossed as u64);
+        // A second (clean) exchange adds nothing: counters accumulate.
+        let second = fed.exchange_repair_observed(id, &obs).unwrap();
+        assert_eq!(second, ExchangeReport::default());
+        assert_eq!(obs.federation_exchanges.get(), 2);
+        assert_eq!(
+            obs.federation_bytes_crossed.get(),
+            first.bytes_crossed + second.bytes_crossed
+        );
     }
 }

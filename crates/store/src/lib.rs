@@ -41,11 +41,13 @@ pub mod store;
 pub mod workload;
 
 pub use chunking::{delete_chunked, get_chunked, put_chunked};
-pub use device::{BlockProbe, Device, DeviceStats};
+pub use device::{BlockProbe, Device, DeviceStats, ReadClass};
 pub use error::StoreError;
-pub use federation::FederatedStore;
+pub use federation::{ExchangeReport, FederatedStore, FetchPath};
 pub use obs::StoreObserver;
-pub use retrieval::{plan_retrieval, plan_retrieval_observed, RetrievalPlan};
+pub use retrieval::{
+    plan_repair, plan_retrieval, plan_retrieval_observed, RepairCost, RetrievalPlan,
+};
 pub use scrubber::{ScrubAction, ScrubMode, ScrubOutcome, Scrubber, StripeHealth};
 pub use store::{ArchivalStore, GetStats, ObjectId, ObjectMeta};
 pub use workload::{

@@ -48,6 +48,32 @@ pub struct StoreObserver {
     /// Writes rejected by offline devices across the pool (point-in-time
     /// sum of [`crate::device::DeviceStats::failed_writes`]).
     pub device_failed_writes: Gauge,
+    /// Bytes read to feed recoveries (scrub decode-tier stripe reads),
+    /// cumulative — the repair-bandwidth headline number.
+    pub repair_bytes_read: Counter,
+    /// Blocks those repair reads fetched, cumulative.
+    pub repair_blocks_fetched: Counter,
+    /// Devices contacted by recoveries, summed per recovery (a device
+    /// serving two recoveries counts twice), cumulative.
+    pub repair_devices_contacted: Counter,
+    /// Recovery-schedule depth per decoded recovery (log2 histogram).
+    pub repair_depth: Histogram,
+    /// Bytes read from devices across the pool, any class (point-in-time
+    /// sum of [`crate::device::DeviceStats::bytes_read`]).
+    pub device_bytes_read: Gauge,
+    /// Repair-class bytes read across the pool (point-in-time sum of
+    /// [`crate::device::DeviceStats::bytes_repair_read`]).
+    pub device_bytes_repair_read: Gauge,
+    /// Federation exchange-repair invocations.
+    pub federation_exchanges: Counter,
+    /// Blocks restored by federation exchanges, cumulative.
+    pub federation_blocks_restored: Counter,
+    /// Blocks moved between sites, cumulative — fed from
+    /// [`crate::federation::ExchangeReport::blocks_crossed`], so counter
+    /// and return value always agree.
+    pub federation_blocks_crossed: Counter,
+    /// Bytes moved between sites, cumulative.
+    pub federation_bytes_crossed: Counter,
     /// Peeling-kernel counters drained from observed scrub decodes. Each
     /// scrub worker records into its own decoder and drains here at stripe
     /// boundaries; summation commutes, so the totals are independent of
@@ -75,19 +101,49 @@ impl StoreObserver {
             plan_us: Histogram::new(),
             devices_offline: Gauge::new(),
             device_failed_writes: Gauge::new(),
+            repair_bytes_read: Counter::new(),
+            repair_blocks_fetched: Counter::new(),
+            repair_devices_contacted: Counter::new(),
+            repair_depth: Histogram::new(),
+            device_bytes_read: Gauge::new(),
+            device_bytes_repair_read: Gauge::new(),
+            federation_exchanges: Counter::new(),
+            federation_blocks_restored: Counter::new(),
+            federation_blocks_crossed: Counter::new(),
+            federation_bytes_crossed: Counter::new(),
             decode: DecodeMetrics::new(),
         }
+    }
+
+    /// Records one recovery's cost into the repair counters and depth
+    /// histogram. Zero costs (nothing was read) are not recorded — a
+    /// skipped or in-place-verified stripe is not a recovery.
+    pub fn record_repair_cost(&self, cost: &crate::retrieval::RepairCost) {
+        if cost.is_zero() {
+            return;
+        }
+        self.repair_bytes_read.add(cost.bytes_read);
+        self.repair_blocks_fetched.add(cost.blocks_fetched);
+        self.repair_devices_contacted.add(cost.devices_contacted);
+        self.repair_depth.record(cost.recovery_depth);
     }
 
     /// Refreshes the device-pool gauges from the store: offline device
     /// count and the pool-wide total of writes rejected while offline.
     pub fn record_device_health(&self, store: &ArchivalStore) {
         self.devices_offline.set(store.offline_devices().len() as i64);
-        let failed_writes: u64 = (0..store.num_devices())
-            .filter_map(|d| store.device(d).ok())
-            .map(|d| d.stats().failed_writes)
-            .sum();
+        let mut failed_writes = 0u64;
+        let mut bytes_read = 0u64;
+        let mut bytes_repair = 0u64;
+        for d in (0..store.num_devices()).filter_map(|d| store.device(d).ok()) {
+            let s = d.stats();
+            failed_writes += s.failed_writes;
+            bytes_read += s.bytes_read;
+            bytes_repair += s.bytes_repair_read;
+        }
         self.device_failed_writes.set(failed_writes as i64);
+        self.device_bytes_read.set(bytes_read as i64);
+        self.device_bytes_repair_read.set(bytes_repair as i64);
     }
 
     /// Replaces the event sink.
@@ -106,9 +162,22 @@ impl StoreObserver {
         self.stripes_skipped.add(outcome.skipped_count() as u64);
         self.stripes_verified.add(outcome.verified_count() as u64);
         self.stripes_decoded.add(outcome.decoded_count() as u64);
+        // Each decoded stripe is one recovery: its cost lands in the
+        // repair counters and its depth in the histogram.
+        for (cost, action) in outcome.costs.iter().zip(&outcome.actions) {
+            if *action == crate::scrubber::ScrubAction::Decoded {
+                self.record_repair_cost(cost);
+            }
+        }
+        let repair_cost = outcome.repair_cost();
         self.events.emit(
             "scrub_cycle",
             &[
+                ("repair_bytes_read", Json::U64(repair_cost.bytes_read)),
+                (
+                    "repair_devices_contacted",
+                    Json::U64(repair_cost.devices_contacted),
+                ),
                 ("stripes", Json::U64(outcome.stripes.len() as u64)),
                 ("degraded", Json::U64(outcome.degraded_count() as u64)),
                 ("urgent", Json::U64(outcome.urgent_count() as u64)),
@@ -136,10 +205,22 @@ impl StoreObserver {
             .counter("retrieval.plans", &self.retrieval_plans)
             .counter("retrieval.unplannable", &self.retrieval_unplannable)
             .counter("retrieval.blocks_fetched", &self.retrieval_blocks_fetched)
+            .counter("repair.bytes_read", &self.repair_bytes_read)
+            .counter("repair.blocks_fetched", &self.repair_blocks_fetched)
+            .counter("repair.devices_contacted", &self.repair_devices_contacted)
+            .counter("federation.exchanges", &self.federation_exchanges)
+            .counter("federation.blocks_restored", &self.federation_blocks_restored)
+            .counter("federation.blocks_crossed", &self.federation_blocks_crossed)
+            .counter("federation.bytes_crossed", &self.federation_bytes_crossed)
             .gauge("scrub.degraded_stripes", &self.degraded)
             .gauge("scrub.urgent_stripes", &self.urgent)
             .gauge("device.offline", &self.devices_offline)
-            .gauge("device.failed_writes", &self.device_failed_writes);
+            .gauge("device.failed_writes", &self.device_failed_writes)
+            .gauge("device.bytes_read", &self.device_bytes_read)
+            .gauge("device.bytes_repair_read", &self.device_bytes_repair_read);
+        if self.repair_depth.count() > 0 {
+            snap.histogram("repair.depth", &self.repair_depth);
+        }
         if self.scrub_cycle_us.count() > 0 {
             snap.histogram("scrub.cycle_us", &self.scrub_cycle_us);
         }

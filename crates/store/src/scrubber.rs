@@ -37,10 +37,11 @@
 
 use crate::device::BlockProbe;
 use crate::obs::StoreObserver;
+use crate::retrieval::RepairCost;
 use crate::store::{ArchivalStore, ObjectId, ObjectMeta};
 use parking_lot::Mutex;
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use tornado_codec::{pool, Codec, DecodeMetrics};
 use tornado_graph::NodeId;
 
@@ -114,6 +115,12 @@ pub struct ScrubOutcome {
     /// What the cycle did to each stripe, parallel to `stripes`. Healths
     /// are tier-independent; actions are where the three-tier gating shows.
     pub actions: Vec<ScrubAction>,
+    /// What scrubbing each stripe cost, parallel to `stripes`: actual
+    /// bytes/blocks read off devices and (for decoded stripes) the
+    /// recovery-schedule depth. Zero for skipped and in-place-verified
+    /// stripes — those tiers move no block bytes. Deterministic per stripe,
+    /// so parallel cycles fold the same costs as serial ones.
+    pub costs: Vec<RepairCost>,
     /// Blocks rewritten by repair.
     pub blocks_repaired: usize,
     /// Objects that could not be fully repaired (unrecoverable or their
@@ -146,6 +153,29 @@ impl ScrubOutcome {
     /// Stripes that needed the full read + decode tier.
     pub fn decoded_count(&self) -> usize {
         self.actions.iter().filter(|&&a| a == ScrubAction::Decoded).count()
+    }
+
+    /// Total read cost of the cycle across every stripe (bytes, blocks and
+    /// per-stripe device contacts add; depth takes the maximum).
+    pub fn total_cost(&self) -> RepairCost {
+        let mut total = RepairCost::default();
+        for c in &self.costs {
+            total.absorb(c);
+        }
+        total
+    }
+
+    /// Cost of the [`ScrubAction::Decoded`] stripes only — the cycle's
+    /// pure repair traffic, excluding the full-read verification a
+    /// [`ScrubMode::Full`] pass spends on intact stripes.
+    pub fn repair_cost(&self) -> RepairCost {
+        let mut total = RepairCost::default();
+        for (c, a) in self.costs.iter().zip(&self.actions) {
+            if *a == ScrubAction::Decoded {
+                total.absorb(c);
+            }
+        }
+        total
     }
 }
 
@@ -343,6 +373,7 @@ impl Scrubber {
                 }
             }
             outcome.actions.push(r.action);
+            outcome.costs.push(r.cost);
             outcome.stripes.push(r.health);
         }
         outcome
@@ -353,6 +384,7 @@ impl Scrubber {
 struct StripeScrub {
     health: StripeHealth,
     action: ScrubAction,
+    cost: RepairCost,
     repaired: usize,
     incomplete: bool,
     /// `Some` when the stripe is known fully present and intact at this
@@ -396,6 +428,7 @@ fn scrub_stripe(
                 return StripeScrub {
                     health: clean_health(meta.id, first_failure_level),
                     action: ScrubAction::Skipped,
+                    cost: RepairCost::default(),
                     repaired: 0,
                     incomplete: false,
                     clean_mark: Some(m),
@@ -413,6 +446,7 @@ fn scrub_stripe(
             return StripeScrub {
                 health: clean_health(meta.id, first_failure_level),
                 action: ScrubAction::Verified,
+                cost: RepairCost::default(),
                 repaired: 0,
                 incomplete: false,
                 clean_mark: Some(CleanMark {
@@ -432,6 +466,21 @@ fn scrub_stripe(
     let missing: Vec<NodeId> = (0..n as NodeId)
         .filter(|&i| stored[i as usize].is_none())
         .collect();
+    // What this tier actually read off devices — the per-stripe repair
+    // cost. Corrupt blocks land in `missing` and contribute nothing here
+    // (their device-side bytes are the documented attribution gap).
+    let mut cost = RepairCost::default();
+    {
+        let mut devices: BTreeSet<usize> = BTreeSet::new();
+        for (i, b) in stored.iter().enumerate() {
+            if let Some(b) = b {
+                cost.bytes_read += b.len() as u64;
+                cost.blocks_fetched += 1;
+                devices.insert(store.device_of_block(meta, i as NodeId));
+            }
+        }
+        cost.devices_contacted = devices.len() as u64;
+    }
     let mut health = StripeHealth {
         id: meta.id,
         missing_blocks: missing.clone(),
@@ -452,6 +501,7 @@ fn scrub_stripe(
         }
         .expect("stripe shape is fixed");
         health.recoverable = report.complete();
+        cost.recovery_depth = report.recovery_depth;
         if repair {
             incomplete = !health.recoverable;
             for &node in &missing {
@@ -492,6 +542,7 @@ fn scrub_stripe(
     StripeScrub {
         health,
         action,
+        cost,
         repaired,
         incomplete,
         clean_mark,

@@ -1,10 +1,10 @@
 //! The archival store: transactional object put/get over a device pool.
 
-use crate::device::Device;
+use crate::device::{Device, ReadClass};
 use crate::error::StoreError;
-use crate::retrieval::plan_retrieval;
+use crate::retrieval::{plan_retrieval, RepairCost};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use tornado_codec::{pool, xor_into, Codec, EncodedStripe, RecoveryStep};
 use tornado_graph::{Graph, NodeId};
@@ -51,6 +51,13 @@ pub struct GetStats {
     /// payload reassembly, µs — the per-read repair cost a degraded GET
     /// pays.
     pub decode_us: u64,
+    /// What this retrieval cost in bytes/blocks/devices/depth, across all
+    /// plan attempts (reads made before a replan aborted an attempt are
+    /// still counted — those bytes really moved).
+    pub cost: RepairCost,
+    /// Subset of `cost.bytes_read` attributed to repair: check-block
+    /// fetches, which a healthy stripe never needs.
+    pub repair_bytes_read: u64,
 }
 
 impl GetStats {
@@ -250,7 +257,14 @@ impl ArchivalStore {
         let mut replans = 0usize;
         let mut plan_us = 0u64;
         let mut fetch_us = 0u64;
+        // Cost accounting across every attempt: a replan discards buffers
+        // but not the fact that devices already served those bytes.
+        let mut bytes_read = 0u64;
+        let mut blocks_read = 0u64;
+        let mut repair_bytes = 0u64;
+        let mut devices_contacted: BTreeSet<usize> = BTreeSet::new();
         let n = self.graph.num_nodes();
+        let k = self.graph.num_data();
         let (blocks, stats) = 'plan: loop {
             let plan_start = std::time::Instant::now();
             let available: Vec<NodeId> = self
@@ -280,8 +294,23 @@ impl ArchivalStore {
             let fetch_start = std::time::Instant::now();
             let mut blocks: Vec<Option<Vec<u8>>> = vec![None; n];
             for &node in &plan.fetch {
-                match self.read_raw_block(&meta, node) {
-                    Some(b) => blocks[node as usize] = Some(b),
+                // A data block is the payload itself; a check block is only
+                // ever fetched to feed reconstruction — repair traffic.
+                let class = if (node as usize) < k {
+                    ReadClass::Payload
+                } else {
+                    ReadClass::Repair
+                };
+                match self.read_raw_block_classed(&meta, node, class) {
+                    Some(b) => {
+                        bytes_read += b.len() as u64;
+                        blocks_read += 1;
+                        if class == ReadClass::Repair {
+                            repair_bytes += b.len() as u64;
+                        }
+                        devices_contacted.insert(self.device_of_block(&meta, node));
+                        blocks[node as usize] = Some(b)
+                    }
                     None => {
                         // Corrupt or lost after planning: exclude, replan.
                         excluded.push(node);
@@ -302,6 +331,13 @@ impl ArchivalStore {
                 plan_us,
                 fetch_us,
                 decode_us: decode_start.elapsed().as_micros() as u64,
+                cost: RepairCost {
+                    bytes_read,
+                    blocks_fetched: blocks_read,
+                    devices_contacted: devices_contacted.len() as u64,
+                    recovery_depth: plan.recovery_depth(&self.graph),
+                },
+                repair_bytes_read: repair_bytes,
             };
             break (decoded, stats);
         };
@@ -348,9 +384,22 @@ impl ArchivalStore {
     /// is exactly how the coding layer can repair it. The copy is made into
     /// a buffer recycled from the calling thread's block pool.
     pub(crate) fn read_raw_block(&self, meta: &ObjectMeta, node: NodeId) -> Option<Vec<u8>> {
+        self.read_raw_block_classed(meta, node, ReadClass::Repair)
+    }
+
+    /// [`ArchivalStore::read_raw_block`] with an explicit attribution
+    /// class. The raw-block readers (scrub tier 3, federation) are repair
+    /// paths, so the classless form defaults to [`ReadClass::Repair`]; the
+    /// GET path passes the class per node.
+    pub(crate) fn read_raw_block_classed(
+        &self,
+        meta: &ObjectMeta,
+        node: NodeId,
+        class: ReadClass,
+    ) -> Option<Vec<u8>> {
         let dev = self.device_of_block(meta, node);
         let block = pool::with_thread_pool(|p| {
-            self.devices[dev].read_block_pooled(&(meta.id, node), p)
+            self.devices[dev].read_block_pooled(&(meta.id, node), p, class)
         })?;
         if block_checksum(&block) != meta.checksums[node as usize] {
             pool::with_thread_pool(|p| p.recycle(block));
@@ -507,6 +556,64 @@ mod tests {
             fetched_degraded < 96,
             "degraded read must not touch the whole stripe"
         );
+    }
+
+    #[test]
+    fn get_cost_matches_device_byte_deltas() {
+        use crate::device::DeviceStats;
+        let graph = TornadoGenerator::new(TornadoParams::paper_96())
+            .generate(4)
+            .unwrap();
+        let store = ArchivalStore::new(graph);
+        let id = store.put("big", &vec![7u8; 4096]).unwrap();
+        let meta = store.meta(id).unwrap();
+        let snap = |s: &ArchivalStore| -> Vec<DeviceStats> {
+            (0..s.num_devices()).map(|d| s.device(d).unwrap().stats()).collect()
+        };
+
+        let before = snap(&store);
+        let (_, healthy) = store.get_detailed(id).unwrap();
+        let after = snap(&store);
+        let bytes: u64 = after
+            .iter()
+            .zip(&before)
+            .map(|(a, b)| a.bytes_read - b.bytes_read)
+            .sum();
+        let repair: u64 = after
+            .iter()
+            .zip(&before)
+            .map(|(a, b)| a.bytes_repair_read - b.bytes_repair_read)
+            .sum();
+        assert_eq!(healthy.cost.bytes_read, bytes, "GET cost == device deltas");
+        assert_eq!(healthy.cost.bytes_read, 48 * meta.block_len as u64);
+        assert_eq!(healthy.cost.blocks_fetched, 48);
+        assert_eq!(healthy.cost.devices_contacted, 48);
+        assert_eq!(healthy.cost.recovery_depth, 0);
+        assert_eq!(healthy.repair_bytes_read, 0, "healthy read is all payload");
+        assert_eq!(repair, 0);
+
+        store
+            .fail_device(store.device_of_block(&meta, 3))
+            .unwrap();
+        let before = snap(&store);
+        let (_, degraded) = store.get_detailed(id).unwrap();
+        let after = snap(&store);
+        let bytes: u64 = after
+            .iter()
+            .zip(&before)
+            .map(|(a, b)| a.bytes_read - b.bytes_read)
+            .sum();
+        let repair: u64 = after
+            .iter()
+            .zip(&before)
+            .map(|(a, b)| a.bytes_repair_read - b.bytes_repair_read)
+            .sum();
+        assert!(degraded.degraded());
+        assert_eq!(degraded.cost.bytes_read, bytes);
+        assert_eq!(degraded.repair_bytes_read, repair);
+        assert!(degraded.repair_bytes_read > 0, "check blocks were fetched");
+        assert!(degraded.cost.recovery_depth >= 1);
+        assert!((degraded.cost.devices_contacted as usize) < store.num_devices());
     }
 
     #[test]

@@ -78,8 +78,13 @@ fn main() {
     ));
     let (payload, path) = fed.get(id).expect("cross-site decode");
     assert_eq!(payload.len(), 100_000);
-    assert_eq!(path, FetchPath::CrossSite);
-    println!("both sites individually failed; cross-site exchange recovered the object");
+    let FetchPath::CrossSite { blocks_crossed } = path else {
+        panic!("expected a cross-site decode, got {path:?}");
+    };
+    println!(
+        "both sites individually failed; cross-site exchange recovered the object \
+         ({blocks_crossed} site-B blocks crossed)"
+    );
 
     // Replace drives and repair by exchange.
     for &d in &block_a {
@@ -88,8 +93,12 @@ fn main() {
     for &d in &block_b {
         fed.site_b().replace_device(d).unwrap();
     }
-    let restored = fed.exchange_repair(id).expect("anti-entropy");
-    println!("exchange repair restored {restored} blocks across the federation");
+    let report = fed.exchange_repair(id).expect("anti-entropy");
+    println!(
+        "exchange repair restored {} blocks across the federation \
+         ({} blocks / {} bytes crossed sites)",
+        report.blocks_restored, report.blocks_crossed, report.bytes_crossed
+    );
     let (_, path) = fed.get(id).expect("post-repair read");
     assert_eq!(path, FetchPath::SiteA);
     println!("site A self-sufficient again");
