@@ -1,0 +1,157 @@
+//! Measures cold-start recovery time vs store size for both durable
+//! backends and writes `BENCH_recovery.json` at the repository root.
+//!
+//! Each point builds a 96-device store under the system temp dir,
+//! ingests N small objects, shuts down cleanly (which leaves the full
+//! intent/commit journal on disk — only recovery truncates it), then
+//! times the cold `ArchivalStore::open`: journal scan, sidecar load,
+//! stripe-map rebuild.
+//!
+//! Floors (exact, not timing-dependent, so they hold in every build):
+//! recovery finds every object, rolls nothing back after a clean
+//! shutdown, and scans exactly two journal records per put.
+//!
+//! Usage: `cargo run --release -p tornado-bench --bin bench_recovery`.
+//! `--check` verifies the floors without rewriting the JSON; `--quick` is
+//! the CI smoke: small stores, JSON schema-validated in memory but never
+//! written. Debug builds refuse to write so the committed file always
+//! comes from a release run.
+
+use tornado_bench::experiments::recovery;
+
+fn main() {
+    let check_only = std::env::args().any(|a| a == "--check");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let counts: Vec<usize> = if quick { vec![2, 4, 8] } else { vec![16, 64, 256] };
+
+    let r = recovery::measure(&counts);
+    println!(
+        "cold-start recovery: {} backends × {} store sizes, {} B objects, {} build",
+        r.backends.len(),
+        r.object_counts.len(),
+        r.payload_bytes,
+        if cfg!(debug_assertions) { "debug" } else { "release" }
+    );
+    for b in &r.backends {
+        for p in &b.sweep {
+            println!(
+                "  {:<8} {:>5} objects: recovery {:>8} µs, open {:>8} µs, {:>6} journal records ({:.1} µs/object)",
+                b.backend,
+                p.objects,
+                p.recovery_us,
+                p.open_wall_us,
+                p.journal_records,
+                p.recovery_us as f64 / p.objects.max(1) as f64
+            );
+        }
+    }
+
+    // Hand-formatted JSON (the workspace deliberately has no serde); the
+    // parser round-trip below keeps the formatting honest.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"recovery\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if cfg!(debug_assertions) { "debug" } else { "release" }
+    ));
+    json.push_str(&format!("  \"payload_bytes\": {},\n", r.payload_bytes));
+    json.push_str(&format!(
+        "  \"object_counts\": [{}],\n",
+        r.object_counts.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", ")
+    ));
+    json.push_str("  \"backends\": [\n");
+    for (i, b) in r.backends.iter().enumerate() {
+        json.push_str(&format!("    {{\"backend\": \"{}\", \"sweep\": [\n", b.backend));
+        for (j, p) in b.sweep.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"objects\": {}, \"data_bytes\": {}, \"recovery_us\": {}, \"open_wall_us\": {}, \"journal_records\": {}, \"objects_recovered\": {}, \"us_per_object\": {:.2}}}{}\n",
+                p.objects,
+                p.data_bytes,
+                p.recovery_us,
+                p.open_wall_us,
+                p.journal_records,
+                p.objects_recovered,
+                p.recovery_us as f64 / p.objects.max(1) as f64,
+                if j + 1 < b.sweep.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < r.backends.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    // Schema self-check: the JSON must parse and carry every field and
+    // backend EXPERIMENTS.md and CI rely on.
+    let doc = tornado_obs::json::parse(&json).expect("bench JSON must parse");
+    for field in ["bench", "mode", "payload_bytes", "object_counts", "backends"] {
+        assert!(doc.get(field).is_some(), "bench JSON is missing the '{field}' field");
+    }
+    let object_counts = match doc.get("object_counts") {
+        Some(tornado_obs::Json::Arr(a)) => a.len(),
+        other => panic!("'object_counts' must be an array, got {other:?}"),
+    };
+    assert!(object_counts >= 3, "need >= 3 store sizes, got {object_counts}");
+    let backends = match doc.get("backends") {
+        Some(tornado_obs::Json::Arr(a)) => a,
+        other => panic!("'backends' must be an array, got {other:?}"),
+    };
+    assert_eq!(backends.len(), 2, "file + segment");
+    for b in backends {
+        for field in ["backend", "sweep"] {
+            assert!(b.get(field).is_some(), "backend row missing '{field}'");
+        }
+        let sweep = match b.get("sweep") {
+            Some(tornado_obs::Json::Arr(a)) => a,
+            other => panic!("'sweep' must be an array, got {other:?}"),
+        };
+        assert_eq!(sweep.len(), counts.len(), "one sweep point per store size");
+        for p in sweep {
+            for field in [
+                "objects",
+                "data_bytes",
+                "recovery_us",
+                "open_wall_us",
+                "journal_records",
+                "objects_recovered",
+                "us_per_object",
+            ] {
+                assert!(p.get(field).is_some(), "sweep point missing '{field}'");
+            }
+        }
+    }
+
+    // Sanity floors: exact recovery invariants, independent of build mode.
+    for b in &r.backends {
+        for p in &b.sweep {
+            assert_eq!(p.objects_recovered, p.objects, "{}: lost objects", b.backend);
+            assert_eq!(
+                p.journal_records,
+                p.objects * 2,
+                "{}: intent + commit per clean put",
+                b.backend
+            );
+        }
+    }
+
+    if quick {
+        println!("--quick: schema valid, sanity floors hold, JSON not written");
+        return;
+    }
+    if cfg!(debug_assertions) {
+        println!("debug build: not writing JSON (commit release numbers only)");
+        return;
+    }
+    if check_only {
+        println!("--check: floors hold, JSON left untouched");
+        return;
+    }
+
+    // The bin lives two levels below the workspace root.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recovery.json");
+    std::fs::write(out, json).expect("write BENCH_recovery.json");
+    println!("wrote {out}");
+}

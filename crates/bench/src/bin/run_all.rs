@@ -47,6 +47,7 @@ fn main() {
         ("Data-plane kernels", exp::data_plane::run),
         ("Checksum-gated scrub tiers", exp::data_plane::run_scrub_modes),
         ("Repair-bandwidth bake-off", exp::repair_bandwidth::run),
+        ("Cold-start recovery", exp::recovery::run),
     ];
 
     let suite_start = Instant::now();

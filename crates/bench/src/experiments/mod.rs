@@ -11,6 +11,7 @@ pub mod fig5_table3;
 pub mod fig6_table4;
 pub mod load_test;
 pub mod plank_overhead;
+pub mod recovery;
 pub mod repair_bandwidth;
 pub mod retrieval;
 pub mod scrub_sweep;

@@ -1,0 +1,202 @@
+//! Cold-start recovery benchmark for the durable backends (ISSUE 8).
+//!
+//! Recovery-on-open is the price a durable archival store pays at every
+//! restart: scan the intent journal, load the metadata sidecars, roll
+//! back torn puts, rebuild the stripe map. This experiment measures that
+//! wall time as a function of store size for both on-disk backends
+//! (file-per-block directories and append-only segment stores) so the
+//! scaling behaviour — it should be linear in object count — is a
+//! committed number, not folklore.
+//!
+//! Every point populates a fresh store at the paper's 96-device
+//! configuration, drops it (a clean shutdown leaves the journal intact;
+//! only recovery truncates it), reopens it cold, and records both the
+//! store's own [`RecoveryReport::duration_us`] and the end-to-end wall
+//! time of `ArchivalStore::open`.
+//!
+//! [`RecoveryReport::duration_us`]: tornado_store::RecoveryReport
+
+use crate::effort::Effort;
+use std::fmt::Write as _;
+use tornado_store::{ArchivalStore, BackendKind, DurableConfig};
+
+/// Payload size per object; recovery cost is dominated by per-object
+/// bookkeeping, not payload bytes, which this keeps small enough to show.
+pub const PAYLOAD_BYTES: usize = 4096;
+
+/// One (backend, store-size) measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryPoint {
+    /// Objects in the store at reopen.
+    pub objects: usize,
+    /// User bytes ingested (`objects × payload`).
+    pub data_bytes: u64,
+    /// Recovery time reported by the store (scan + replay + rebuild), µs.
+    pub recovery_us: u64,
+    /// End-to-end `ArchivalStore::open` wall time, µs.
+    pub open_wall_us: u64,
+    /// Journal records scanned (2 per clean put: intent + commit).
+    pub journal_records: usize,
+    /// Objects the recovery rebuilt into the stripe map.
+    pub objects_recovered: usize,
+}
+
+/// One backend's sweep over store sizes.
+#[derive(Clone, Debug)]
+pub struct BackendSweep {
+    /// Backend label (`"file"` or `"segment"`).
+    pub backend: &'static str,
+    /// Points in ascending object count.
+    pub sweep: Vec<RecoveryPoint>,
+}
+
+/// The whole benchmark.
+#[derive(Clone, Debug)]
+pub struct RecoveryBenchReport {
+    /// Payload bytes per object.
+    pub payload_bytes: usize,
+    /// Store sizes swept (object counts).
+    pub object_counts: Vec<usize>,
+    /// One sweep per durable backend.
+    pub backends: Vec<BackendSweep>,
+}
+
+impl RecoveryBenchReport {
+    /// Looks a backend sweep up by label.
+    pub fn backend(&self, backend: &str) -> &BackendSweep {
+        self.backends
+            .iter()
+            .find(|b| b.backend == backend)
+            .unwrap_or_else(|| panic!("no backend {backend}"))
+    }
+}
+
+fn payload_for(i: usize) -> Vec<u8> {
+    (0..PAYLOAD_BYTES)
+        .map(|b| {
+            (b as u64)
+                .wrapping_mul(131)
+                .wrapping_add((i as u64).wrapping_mul(0x9e3779b97f4a7c15)) as u8
+        })
+        .collect()
+}
+
+/// Measures cold-start recovery for both durable backends at each store
+/// size. Stores are built and torn down under the system temp dir.
+pub fn measure(object_counts: &[usize]) -> RecoveryBenchReport {
+    let mut backends = Vec::new();
+    for kind in [BackendKind::File, BackendKind::Segment] {
+        let mut sweep = Vec::with_capacity(object_counts.len());
+        for &objects in object_counts {
+            let dir = std::env::temp_dir().join(format!(
+                "tornado-bench-recovery-{}-{objects}-{}",
+                kind.as_str(),
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let (store, _) = ArchivalStore::open(
+                tornado_core::tornado_graph_1(),
+                DurableConfig::new_nosync(dir.clone(), kind),
+            )
+            .expect("open fresh bench store");
+            for i in 0..objects {
+                store.put(&format!("bench-{i}"), &payload_for(i)).expect("put");
+            }
+            drop(store);
+
+            let t = std::time::Instant::now();
+            let (store, report) = ArchivalStore::open(
+                tornado_core::tornado_graph_1(),
+                DurableConfig::new_nosync(dir.clone(), kind),
+            )
+            .expect("cold reopen");
+            let open_wall_us = t.elapsed().as_micros() as u64;
+            assert_eq!(report.objects, objects, "recovery found every object");
+            assert_eq!(report.rolled_back, 0, "clean shutdown: nothing torn");
+            drop(store);
+            let _ = std::fs::remove_dir_all(&dir);
+
+            sweep.push(RecoveryPoint {
+                objects,
+                data_bytes: (objects * PAYLOAD_BYTES) as u64,
+                recovery_us: report.duration_us,
+                open_wall_us,
+                journal_records: report.journal_records,
+                objects_recovered: report.objects,
+            });
+        }
+        backends.push(BackendSweep { backend: kind.as_str(), sweep });
+    }
+    RecoveryBenchReport {
+        payload_bytes: PAYLOAD_BYTES,
+        object_counts: object_counts.to_vec(),
+        backends,
+    }
+}
+
+/// Effort → store sizes: smoke efforts shrink the counts, never the
+/// schema (always ≥ 3 sizes so the scaling trend is visible).
+pub fn object_counts(effort: &Effort) -> Vec<usize> {
+    if effort.mc_trials <= 1_000 {
+        vec![4, 8, 16]
+    } else {
+        vec![16, 64, 256]
+    }
+}
+
+/// Runs the benchmark and formats the EXPERIMENTS.md table.
+pub fn run(effort: &Effort) -> String {
+    let r = measure(&object_counts(effort));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Cold-start recovery: 96-device store, {} B objects, clean-shutdown journals",
+        r.payload_bytes
+    );
+    let _ = writeln!(out, "backend, objects, journal_records, recovery_us, open_wall_us, us_per_object");
+    for b in &r.backends {
+        for p in &b.sweep {
+            let _ = writeln!(
+                out,
+                "{}, {}, {}, {}, {}, {:.1}",
+                b.backend,
+                p.objects,
+                p.journal_records,
+                p.recovery_us,
+                p.open_wall_us,
+                p.recovery_us as f64 / p.objects.max(1) as f64
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "recovery replays the journal and sidecars, never payload blocks — cost scales with \
+         the catalog, not the archive"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_both_backends_at_every_size() {
+        let r = measure(&[2, 4]);
+        assert_eq!(r.backends.len(), 2);
+        for b in &r.backends {
+            assert_eq!(b.sweep.len(), 2, "{}", b.backend);
+            for p in &b.sweep {
+                assert_eq!(p.objects_recovered, p.objects);
+                assert_eq!(p.journal_records, p.objects * 2, "intent + commit per put");
+            }
+        }
+    }
+
+    #[test]
+    fn run_formats_both_backend_rows() {
+        let report = run(&Effort::smoke());
+        assert!(report.contains("file, 4,"), "{report}");
+        assert!(report.contains("segment, 16,"), "{report}");
+    }
+}

@@ -570,7 +570,34 @@ pub fn serve(args: &ParsedArgs) -> CmdResult {
         (tornado_core::tornado_graph_1(), "catalog:1".into())
     };
 
-    let store = std::sync::Arc::new(tornado_store::ArchivalStore::new(graph));
+    // A `--data-dir` turns the in-memory simulation store into a durable
+    // one: blocks live in a file or segment backend and puts are
+    // journaled, so a SIGKILLed server recovers its catalog on restart.
+    let (store, recovery) = match args.get("data-dir") {
+        Some(dir) => {
+            let backend = args.get("backend").unwrap_or("file");
+            let kind = tornado_store::BackendKind::parse(backend)
+                .ok_or_else(|| format!("--backend {backend}: expected file|segment"))?;
+            if kind == tornado_store::BackendKind::Memory {
+                return Err("--backend memory cannot be combined with --data-dir".into());
+            }
+            let cfg = if args.flag("no-fsync") {
+                tornado_store::DurableConfig::new_nosync(dir, kind)
+            } else {
+                tornado_store::DurableConfig::new(dir, kind)
+            };
+            let (store, report) =
+                tornado_store::ArchivalStore::open(graph, cfg).map_err(|e| format!("open: {e}"))?;
+            (store, Some(report))
+        }
+        None => {
+            if args.get("backend").is_some() {
+                return Err("--backend requires --data-dir".into());
+            }
+            (tornado_store::ArchivalStore::new(graph), None)
+        }
+    };
+    let store = std::sync::Arc::new(store);
     let mut server_obs = tornado_server::ServerObserver::disabled().with_events(obs.events());
     if trace_sample > 0 {
         server_obs = server_obs.with_tracer(tornado_obs::Tracer::new(
@@ -578,6 +605,36 @@ pub fn serve(args: &ParsedArgs) -> CmdResult {
             trace_capacity,
             trace_slow_keep,
         ));
+    }
+    if let Some(report) = &recovery {
+        server_obs.store_obs.record_recovery(report);
+        if server_obs.tracer.is_enabled() {
+            server_obs.tracer.record(tornado_obs::trace::SpanRecord {
+                trace_id: 0,
+                span_id: server_obs.tracer.next_span_id(),
+                parent_id: None,
+                name: "store.recover",
+                start_us: 0,
+                dur_us: report.duration_us,
+                fields: vec![
+                    ("objects", Json::U64(report.objects as u64)),
+                    ("journal_records", Json::U64(report.journal_records as u64)),
+                    ("rolled_back", Json::U64(report.rolled_back as u64)),
+                ],
+            });
+        }
+        obs.status(
+            "serve_recovered",
+            &[
+                ("objects", Json::U64(report.objects as u64)),
+                ("journal_records", Json::U64(report.journal_records as u64)),
+                ("committed_puts", Json::U64(report.committed_puts as u64)),
+                ("rolled_back", Json::U64(report.rolled_back as u64)),
+                ("deletes_replayed", Json::U64(report.deletes_replayed as u64)),
+                ("torn_tail", Json::Bool(report.torn_tail)),
+                ("duration_us", Json::U64(report.duration_us)),
+            ],
+        );
     }
     let server_obs = std::sync::Arc::new(server_obs);
     let config = tornado_server::ServerConfig {
@@ -600,6 +657,7 @@ pub fn serve(args: &ParsedArgs) -> CmdResult {
         &[
             ("addr", Json::Str(bound.to_string())),
             ("graph", Json::Str(label.clone())),
+            ("backend", Json::Str(store.backend_kind().to_string())),
             ("workers", Json::U64(workers as u64)),
             ("queue_depth", Json::U64(queue_depth as u64)),
         ],
@@ -732,6 +790,43 @@ pub fn load(args: &ParsedArgs) -> CmdResult {
     }
     if report.payload_mismatches > 0 {
         return Err(format!("{} payload mismatches", report.payload_mismatches));
+    }
+    Ok(())
+}
+
+/// `tornado put` — store one object on a running server. Prints the
+/// assigned object id (bare, on stdout) so shell scripts can capture it.
+pub fn put(args: &ParsedArgs) -> CmdResult {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7401").to_string();
+    let name = args.require("name")?;
+    let path = args.require("payload-file")?;
+    let payload = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut client =
+        tornado_server::Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let id = client.put(name, &payload).map_err(|e| format!("put: {e}"))?;
+    println!("{id}");
+    Ok(())
+}
+
+/// `tornado get` — fetch one object from a running server by id, writing
+/// the payload to `--out FILE` (or raw bytes to stdout without it).
+pub fn get(args: &ParsedArgs) -> CmdResult {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7401").to_string();
+    let id: u64 = args
+        .require("id")?
+        .parse()
+        .map_err(|e| format!("--id: {e}"))?;
+    let mut client =
+        tornado_server::Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let payload = client.get(id).map_err(|e| format!("get {id}: {e}"))?;
+    match args.get("out") {
+        Some(path) => std::fs::write(path, &payload).map_err(|e| format!("{path}: {e}"))?,
+        None => {
+            use std::io::Write;
+            std::io::stdout()
+                .write_all(&payload)
+                .map_err(|e| format!("stdout: {e}"))?;
+        }
     }
     Ok(())
 }

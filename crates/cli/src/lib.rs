@@ -48,10 +48,16 @@ COMMANDS:
     serve        TCP archival block service          [--addr 127.0.0.1:7401] [--workers 4]
                                                      [--queue-depth 64] [--deadline-ms 0]
                                                      [--catalog 1|2|3 | --graph FILE]
+                                                     [--data-dir DIR [--backend file|segment]
+                                                     [--no-fsync]] (durable store with
+                                                     crash recovery on restart)
                                                      [--port-file FILE]
                                                      [--trace-sample N] [--trace-file FILE]
                                                      [--trace-capacity 4096] [--trace-slow-keep 16]
                                                      [--slow-ms N] [--timeseries-ms 500]
+    put          Store one object on a server        --addr ADDR --name NAME
+                                                     --payload-file FILE (prints the id)
+    get          Fetch one object from a server      --addr ADDR --id N [--out FILE]
     load         Closed-loop load generator          --addr ADDR [--connections 4]
                                                      [--duration-ms 2000] [--seed N]
                                                      [--put 20 --get 75 --delete 5]
@@ -96,6 +102,8 @@ pub fn run_command(command: &str, parsed: &ParsedArgs) -> Result<(), String> {
         "lifetime" => commands::lifetime(parsed),
         "workload" => commands::workload(parsed),
         "serve" => commands::serve(parsed),
+        "put" => commands::put(parsed),
+        "get" => commands::get(parsed),
         "load" => commands::load(parsed),
         "watch" => commands::watch(parsed),
         "trace" => commands::trace(parsed),

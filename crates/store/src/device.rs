@@ -1,16 +1,24 @@
-//! In-memory storage devices with failure injection.
+//! Storage devices with failure injection, backed by pluggable
+//! [`BlockBackend`]s.
 //!
 //! Each device stores named blocks and keeps access counters. Interior
 //! mutability (a `parking_lot::RwLock` per device) lets many readers hit
 //! different devices concurrently — the access pattern the guided
 //! retrieval planner optimises — while failure injection flips a device
-//! offline atomically.
+//! offline atomically. `Device::new` keeps the original volatile
+//! in-memory backend (the simulation default); durable stores attach
+//! file or segment backends via [`Device::with_backend`] (see
+//! [`crate::durable`]).
+//!
+//! Backend I/O failures (a read error, a failed fsync) are counted in
+//! [`DeviceStats::io_errors`] — distinct from the offline-rejection
+//! counters — and the affected block is reported absent, so the coding
+//! layer treats real storage trouble exactly like an erasure.
 
+use crate::backend::{BlockBackend, MemoryBackend};
 use parking_lot::RwLock;
-use std::collections::HashMap;
 
-/// Key of a stored block: `(object id, node index)`.
-pub type BlockKey = (u64, u32);
+pub use crate::backend::BlockKey;
 
 /// Outcome of a zero-copy checksum probe ([`Device::verify_block`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,6 +65,11 @@ pub struct DeviceStats {
     /// Subset of [`DeviceStats::bytes_read`] served to
     /// [`ReadClass::Repair`] readers.
     pub bytes_repair_read: u64,
+    /// Backend I/O failures (read/write/fsync errors from the storage
+    /// layer itself) — distinct from `failed_reads`/`failed_writes`,
+    /// which count offline rejections of a healthy backend. Non-zero
+    /// here means the *media* is misbehaving.
+    pub io_errors: u64,
 }
 
 impl DeviceStats {
@@ -69,10 +82,10 @@ impl DeviceStats {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct DeviceState {
     online: bool,
-    blocks: HashMap<BlockKey, Vec<u8>>,
+    backend: Box<dyn BlockBackend>,
     stats: DeviceStats,
 }
 
@@ -84,13 +97,20 @@ pub struct Device {
 }
 
 impl Device {
-    /// A fresh, online, empty device.
+    /// A fresh, online, empty device on the volatile in-memory backend.
     pub fn new(id: usize) -> Self {
+        Self::with_backend(id, Box::new(MemoryBackend::new()))
+    }
+
+    /// A fresh, online device over an explicit backend (which may
+    /// already hold blocks — reopening a durable store reattaches its
+    /// devices this way).
+    pub fn with_backend(id: usize, backend: Box<dyn BlockBackend>) -> Self {
         Self {
             id,
             state: RwLock::new(DeviceState {
                 online: true,
-                blocks: HashMap::new(),
+                backend,
                 stats: DeviceStats::default(),
             }),
         }
@@ -101,39 +121,84 @@ impl Device {
         self.id
     }
 
+    /// The backend label (`"memory"`, `"file"`, `"segment"`).
+    pub fn backend_kind(&self) -> &'static str {
+        self.state.read().backend.kind()
+    }
+
     /// Whether the device is serving requests.
     pub fn is_online(&self) -> bool {
         self.state.read().online
     }
 
     /// Takes the device offline, **destroying its contents** (the paper's
-    /// no-repair model treats a failed drive's data as gone).
+    /// no-repair model treats a failed drive's data as gone). On durable
+    /// backends the backing files really are deleted; if even that fails
+    /// the device still goes offline (and the error is counted), and the
+    /// incarnation scheme in [`crate::durable`] guarantees a later
+    /// replacement can never resurrect the stale files.
     pub fn fail(&self) {
         let mut s = self.state.write();
         s.online = false;
-        s.blocks.clear();
+        if s.backend.destroy().is_err() {
+            s.stats.io_errors += 1;
+        }
     }
 
     /// Brings the device back online (empty — a replacement drive).
+    /// Durable stores route replacement through
+    /// `ArchivalStore::replace_device`, which installs a fresh backend
+    /// at a new incarnation path instead.
     pub fn replace(&self) {
         let mut s = self.state.write();
         s.online = true;
-        s.blocks.clear();
+        if s.backend.destroy().is_err() {
+            s.stats.io_errors += 1;
+        }
+    }
+
+    /// Installs a brand-new backend (a fresh incarnation directory) and
+    /// brings the device online — the durable form of [`Device::replace`].
+    pub(crate) fn install_replacement(&self, backend: Box<dyn BlockBackend>) {
+        let mut s = self.state.write();
+        s.online = true;
+        s.backend = backend;
     }
 
     /// Writes a block. Rejected when offline (a real controller would
     /// error); the rejection is counted in
     /// [`DeviceStats::failed_writes`] so degraded-mode ingest is visible
-    /// to operators instead of vanishing silently.
+    /// to operators instead of vanishing silently. A backend I/O error
+    /// also fails the write, counted in [`DeviceStats::io_errors`].
     pub fn write_block(&self, key: BlockKey, data: Vec<u8>) -> bool {
         let mut s = self.state.write();
         if !s.online {
             s.stats.failed_writes += 1;
             return false;
         }
-        s.stats.writes += 1;
-        s.blocks.insert(key, data);
-        true
+        match s.backend.put_owned(key, data) {
+            Ok(()) => {
+                s.stats.writes += 1;
+                true
+            }
+            Err(_) => {
+                s.stats.io_errors += 1;
+                false
+            }
+        }
+    }
+
+    /// Flushes the backend to stable storage (fsync). Returns `false` —
+    /// and counts an I/O error — if the sync failed.
+    pub fn flush(&self) -> bool {
+        let mut s = self.state.write();
+        match s.backend.flush() {
+            Ok(()) => true,
+            Err(_) => {
+                s.stats.io_errors += 1;
+                false
+            }
+        }
     }
 
     /// Reads a block; `None` when offline or absent. Attributed as a
@@ -142,18 +207,26 @@ impl Device {
         self.read_block_classed(key, ReadClass::Payload)
     }
 
-    /// Reads a block attributed to `class`; `None` when offline or absent.
+    /// Reads a block attributed to `class`; `None` when offline, absent,
+    /// or failing at the I/O layer.
     pub fn read_block_classed(&self, key: &BlockKey, class: ReadClass) -> Option<Vec<u8>> {
         let mut s = self.state.write();
         if !s.online {
             s.stats.failed_reads += 1;
             return None;
         }
-        let block = s.blocks.get(key).cloned();
-        if let Some(b) = &block {
-            s.stats.record_read(b.len(), class);
+        match s.backend.get(key) {
+            Ok(block) => {
+                if let Some(b) = &block {
+                    s.stats.record_read(b.len(), class);
+                }
+                block
+            }
+            Err(_) => {
+                s.stats.io_errors += 1;
+                None
+            }
         }
-        block
     }
 
     /// Like [`Device::read_block`], but copies into a buffer recycled from
@@ -170,33 +243,45 @@ impl Device {
             s.stats.failed_reads += 1;
             return None;
         }
-        let block = s.blocks.get(key).map(|b| pool.take_copy(b));
-        if let Some(b) = &block {
-            s.stats.record_read(b.len(), class);
+        match s.backend.get_pooled(key, pool) {
+            Ok(block) => {
+                if let Some(b) = &block {
+                    s.stats.record_read(b.len(), class);
+                }
+                block
+            }
+            Err(_) => {
+                s.stats.io_errors += 1;
+                None
+            }
         }
-        block
     }
 
-    /// Checksums a block **in place** against `expected` — the scrub
-    /// verify tier's primitive. No bytes are copied and nothing is
-    /// allocated: the word-wide checksum kernel runs over the
-    /// device-resident buffer under the device lock.
+    /// Checksums a block in place against `expected` — the scrub verify
+    /// tier's primitive. On the memory backend no bytes are copied: the
+    /// word-wide checksum kernel runs over the device-resident buffer
+    /// under the device lock. Durable backends hash through a reused
+    /// scratch buffer without handing bytes upward. An I/O error reads
+    /// as [`BlockProbe::Missing`] (an erasure) and is counted.
     pub fn verify_block(&self, key: &BlockKey, expected: u64) -> BlockProbe {
         let mut s = self.state.write();
         if !s.online {
             s.stats.failed_reads += 1;
             return BlockProbe::Missing;
         }
-        match s.blocks.get(key) {
-            None => BlockProbe::Missing,
-            Some(b) => {
-                let ok = tornado_codec::kernels::checksum(b) == expected;
+        match s.backend.checksum(key) {
+            Ok(None) => BlockProbe::Missing,
+            Ok(Some(sum)) => {
                 s.stats.verifies += 1;
-                if ok {
+                if sum == expected {
                     BlockProbe::Ok
                 } else {
                     BlockProbe::Corrupt
                 }
+            }
+            Err(_) => {
+                s.stats.io_errors += 1;
+                BlockProbe::Missing
             }
         }
     }
@@ -204,12 +289,20 @@ impl Device {
     /// Whether a block exists (does not count as an access).
     pub fn has_block(&self, key: &BlockKey) -> bool {
         let s = self.state.read();
-        s.online && s.blocks.contains_key(key)
+        s.online && s.backend.contains(key)
     }
 
-    /// Removes a block; returns whether it existed.
+    /// Removes a block; returns whether it existed (false also on an
+    /// I/O error, which is counted).
     pub fn delete_block(&self, key: &BlockKey) -> bool {
-        self.state.write().blocks.remove(key).is_some()
+        let mut s = self.state.write();
+        match s.backend.delete(key) {
+            Ok(existed) => existed,
+            Err(_) => {
+                s.stats.io_errors += 1;
+                false
+            }
+        }
     }
 
     /// Silently corrupts a stored block (failure-injection helper for
@@ -217,13 +310,7 @@ impl Device {
     /// the block existed.
     pub fn corrupt_block(&self, key: &BlockKey, mask: u8) -> bool {
         let mut s = self.state.write();
-        match s.blocks.get_mut(key) {
-            Some(b) if !b.is_empty() => {
-                b[0] ^= mask;
-                true
-            }
-            _ => false,
-        }
+        s.backend.corrupt(key, mask).unwrap_or(false)
     }
 
     /// Access counters snapshot.
@@ -233,7 +320,7 @@ impl Device {
 
     /// Number of blocks held.
     pub fn block_count(&self) -> usize {
-        self.state.read().blocks.len()
+        self.state.read().backend.block_count()
     }
 }
 
@@ -249,6 +336,7 @@ mod tests {
         assert_eq!(d.stats().reads, 1);
         assert_eq!(d.stats().writes, 1);
         assert_eq!(d.block_count(), 1);
+        assert_eq!(d.backend_kind(), "memory");
     }
 
     #[test]
@@ -277,6 +365,7 @@ mod tests {
         assert!(d.write_block((1, 0), vec![1]));
         assert_eq!(d.stats().failed_writes, 2, "successful write leaves the failure count");
         assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.stats().io_errors, 0, "offline rejections are not I/O errors");
     }
 
     #[test]
@@ -342,5 +431,33 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(d.stats().reads, 800);
+    }
+
+    #[test]
+    fn file_backed_device_counts_io_errors_as_erasures() {
+        // Point a file backend at a directory, then make a block's path
+        // unreadable by replacing the file with a directory — a read
+        // error that is not an offline rejection.
+        use crate::backend_file::FileBackend;
+        let dir = std::env::temp_dir().join(format!(
+            "tornado-device-ioerr-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let backend = FileBackend::open(&dir, false).unwrap();
+        let d = Device::with_backend(0, Box::new(backend));
+        assert_eq!(d.backend_kind(), "file");
+        assert!(d.write_block((1, 2), vec![3; 16]));
+        // Sabotage: swap the block file for a directory of the same name.
+        let path = dir.join("0000000000000001.00000002.blk");
+        std::fs::remove_file(&path).unwrap();
+        std::fs::create_dir(&path).unwrap();
+        assert!(d.has_block(&(1, 2)), "index still lists it");
+        assert_eq!(d.read_block(&(1, 2)), None, "read error reads as erasure");
+        assert_eq!(d.verify_block(&(1, 2), 0), BlockProbe::Missing);
+        let s = d.stats();
+        assert_eq!(s.io_errors, 2);
+        assert_eq!(s.failed_reads, 0, "device was online throughout");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

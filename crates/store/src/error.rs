@@ -27,6 +27,13 @@ pub enum StoreError {
     },
     /// The underlying codec rejected the stripe (internal inconsistency).
     Codec(CodecError),
+    /// A durable-store I/O failure (journal, sidecar, backend, or a
+    /// simulated crash from the injector). Carries a rendered context
+    /// string rather than the `io::Error` so the error stays `Clone`/`Eq`.
+    Io {
+        /// What failed, including the OS error text.
+        context: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -41,6 +48,7 @@ impl fmt::Display for StoreError {
                 write!(f, "device {device} out of range (pool has {pool_size})")
             }
             StoreError::Codec(e) => write!(f, "codec error: {e}"),
+            StoreError::Io { context } => write!(f, "storage i/o error: {context}"),
         }
     }
 }

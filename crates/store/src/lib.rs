@@ -30,9 +30,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod backend_file;
+pub mod backend_segment;
 pub mod chunking;
 pub mod device;
+pub mod durable;
 pub mod error;
+pub mod journal;
 pub mod federation;
 pub mod obs;
 pub mod retrieval;
@@ -40,8 +45,13 @@ pub mod scrubber;
 pub mod store;
 pub mod workload;
 
+pub use backend::{BlockBackend, BlockKey, MemoryBackend};
+pub use backend_file::FileBackend;
+pub use backend_segment::SegmentBackend;
 pub use chunking::{delete_chunked, get_chunked, put_chunked};
 pub use device::{BlockProbe, Device, DeviceStats, ReadClass};
+pub use durable::{BackendKind, DurableConfig, RecoveryReport};
+pub use journal::{CrashInjector, IntentJournal, JournalRecord};
 pub use error::StoreError;
 pub use federation::{ExchangeReport, FederatedStore, FetchPath};
 pub use obs::StoreObserver;

@@ -48,6 +48,10 @@ pub struct StoreObserver {
     /// Writes rejected by offline devices across the pool (point-in-time
     /// sum of [`crate::device::DeviceStats::failed_writes`]).
     pub device_failed_writes: Gauge,
+    /// Backend I/O failures across the pool (point-in-time sum of
+    /// [`crate::device::DeviceStats::io_errors`]) — media trouble, as
+    /// opposed to offline rejections.
+    pub device_io_errors: Gauge,
     /// Bytes read to feed recoveries (scrub decode-tier stripe reads),
     /// cumulative — the repair-bandwidth headline number.
     pub repair_bytes_read: Counter,
@@ -101,6 +105,7 @@ impl StoreObserver {
             plan_us: Histogram::new(),
             devices_offline: Gauge::new(),
             device_failed_writes: Gauge::new(),
+            device_io_errors: Gauge::new(),
             repair_bytes_read: Counter::new(),
             repair_blocks_fetched: Counter::new(),
             repair_devices_contacted: Counter::new(),
@@ -135,15 +140,38 @@ impl StoreObserver {
         let mut failed_writes = 0u64;
         let mut bytes_read = 0u64;
         let mut bytes_repair = 0u64;
+        let mut io_errors = 0u64;
         for d in (0..store.num_devices()).filter_map(|d| store.device(d).ok()) {
             let s = d.stats();
             failed_writes += s.failed_writes;
             bytes_read += s.bytes_read;
             bytes_repair += s.bytes_repair_read;
+            io_errors += s.io_errors;
         }
         self.device_failed_writes.set(failed_writes as i64);
         self.device_bytes_read.set(bytes_read as i64);
         self.device_bytes_repair_read.set(bytes_repair as i64);
+        self.device_io_errors.set(io_errors as i64);
+    }
+
+    /// Records a completed recovery-on-open: emits a `recovery` event
+    /// with the full [`RecoveryReport`]. The `backend.*` counters the
+    /// recovery bumped are process-wide and flow into every snapshot via
+    /// [`StoreObserver::fill_snapshot`].
+    pub fn record_recovery(&self, report: &crate::durable::RecoveryReport) {
+        self.events.emit(
+            "recovery",
+            &[
+                ("duration_us", Json::U64(report.duration_us)),
+                ("journal_records", Json::U64(report.journal_records as u64)),
+                ("torn_tail", Json::Bool(report.torn_tail)),
+                ("committed_puts", Json::U64(report.committed_puts as u64)),
+                ("rolled_back", Json::U64(report.rolled_back as u64)),
+                ("deletes_replayed", Json::U64(report.deletes_replayed as u64)),
+                ("invalid_sidecars", Json::U64(report.invalid_sidecars as u64)),
+                ("objects", Json::U64(report.objects as u64)),
+            ],
+        );
     }
 
     /// Replaces the event sink.
@@ -216,8 +244,19 @@ impl StoreObserver {
             .gauge("scrub.urgent_stripes", &self.urgent)
             .gauge("device.offline", &self.devices_offline)
             .gauge("device.failed_writes", &self.device_failed_writes)
+            .gauge("device.io_errors", &self.device_io_errors)
             .gauge("device.bytes_read", &self.device_bytes_read)
             .gauge("device.bytes_repair_read", &self.device_bytes_repair_read);
+        // Process-wide persistence counters (journal + backend fsyncs +
+        // recovery), surfaced by value like the kernel/pool counters.
+        let b = crate::backend::metrics();
+        snap.counter_value("backend.journal_appends", b.journal_appends.get())
+            .counter_value("backend.journal_replays", b.journal_replays.get())
+            .counter_value("backend.journal_rollbacks", b.journal_rollbacks.get())
+            .counter_value("backend.fsyncs", b.fsyncs.get())
+            .counter_value("backend.recoveries", b.recoveries.get())
+            .counter_value("backend.recovery_us", b.recovery_us.get())
+            .counter_value("backend.scan_bytes", b.scan_bytes.get());
         if self.repair_depth.count() > 0 {
             snap.histogram("repair.depth", &self.repair_depth);
         }

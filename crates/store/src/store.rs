@@ -1,7 +1,9 @@
 //! The archival store: transactional object put/get over a device pool.
 
 use crate::device::{Device, ReadClass};
+use crate::durable::{self, BackendKind, DurableConfig, Durability, RecoveryReport};
 use crate::error::StoreError;
+use crate::journal::{CrashInjector, JournalRecord};
 use crate::retrieval::{plan_retrieval, RepairCost};
 use parking_lot::RwLock;
 use std::collections::{BTreeSet, HashMap};
@@ -99,22 +101,69 @@ pub struct ArchivalStore {
     /// Device-level events destroy blocks without touching any stripe's
     /// generation, so clean marks are additionally keyed by this epoch.
     pool_epoch: AtomicU64,
+    /// Present on stores opened with [`ArchivalStore::open`]: journal,
+    /// sidecar paths, fsync policy, crash injector. `None` keeps the
+    /// volatile in-memory store on the exact pre-persistence code path.
+    durability: Option<Durability>,
 }
 
 impl ArchivalStore {
-    /// Creates a store with one device per node of `graph`.
+    /// Creates a volatile store with one in-memory device per node of
+    /// `graph` (the simulation default; nothing survives process exit).
     pub fn new(graph: Graph) -> Self {
         let devices = (0..graph.num_nodes()).map(Device::new).collect();
+        Self::assemble(graph, devices, HashMap::new(), 1, 0, None)
+    }
+
+    /// Opens (creating if empty) a durable store rooted at `cfg.dir`,
+    /// running recovery: torn puts from a previous crash are rolled
+    /// back, deletes replayed, and the object map rebuilt from metadata
+    /// sidecars. See the [`crate::durable`] module docs for the on-disk
+    /// layout and the recovery state machine.
+    pub fn open(graph: Graph, cfg: DurableConfig) -> Result<(Self, RecoveryReport), StoreError> {
+        durable::open(graph, cfg)
+    }
+
+    /// Internal constructor shared by [`ArchivalStore::new`] and
+    /// recovery-on-open.
+    pub(crate) fn assemble(
+        graph: Graph,
+        devices: Vec<Device>,
+        objects: HashMap<ObjectId, ObjectMeta>,
+        next_id: u64,
+        put_count: u64,
+        durability: Option<Durability>,
+    ) -> Self {
         Self {
             graph,
             devices,
-            objects: RwLock::new(HashMap::new()),
-            next_id: AtomicU64::new(1),
-            put_count: AtomicU64::new(0),
+            objects: RwLock::new(objects),
+            next_id: AtomicU64::new(next_id),
+            put_count: AtomicU64::new(put_count),
             generations: RwLock::new(HashMap::new()),
             generation_counter: AtomicU64::new(0),
             pool_epoch: AtomicU64::new(0),
+            durability,
         }
+    }
+
+    /// The backend kind devices run on (`Memory` for volatile stores).
+    pub fn backend_kind(&self) -> BackendKind {
+        self.durability
+            .as_ref()
+            .map_or(BackendKind::Memory, |d| d.kind)
+    }
+
+    /// The durable root directory, if this store was [`ArchivalStore::open`]ed.
+    pub fn data_dir(&self) -> Option<&std::path::Path> {
+        self.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// The crash injector of a durable store — the recovery test suite's
+    /// way of dying at an exact durability step. `None` on volatile
+    /// stores.
+    pub fn crash_injector(&self) -> Option<&CrashInjector> {
+        self.durability.as_ref().map(|d| &d.crash)
     }
 
     /// The erasure graph in use.
@@ -135,7 +184,9 @@ impl ArchivalStore {
         })
     }
 
-    /// Injects a device failure (contents destroyed).
+    /// Injects a device failure (contents destroyed — the paper's
+    /// no-repair model; on a durable backend the backing files are
+    /// really deleted).
     pub fn fail_device(&self, index: usize) -> Result<(), StoreError> {
         self.device(index)?.fail();
         self.pool_epoch.fetch_add(1, Ordering::Release);
@@ -143,8 +194,28 @@ impl ArchivalStore {
     }
 
     /// Replaces a failed device with an empty one.
+    ///
+    /// On a durable store the replacement is a fresh *incarnation*: the
+    /// device's incarnation number is bumped and persisted first, then a
+    /// brand-new backend is opened at the new (empty) incarnation path.
+    /// Files from the old incarnation are removed best-effort, but even
+    /// if removal fails they can never be read again — no code path
+    /// ever opens a non-current incarnation path.
     pub fn replace_device(&self, index: usize) -> Result<(), StoreError> {
-        self.device(index)?.replace();
+        let device = self.device(index)?;
+        if let Some(d) = &self.durability {
+            let old_gen = durable::read_gen(&d.dir, index)
+                .map_err(|e| StoreError::io("device incarnation", &e))?;
+            let gen = old_gen + 1;
+            durable::write_gen(&d.dir, index, gen, d.fsync)
+                .map_err(|e| StoreError::io("device incarnation", &e))?;
+            let backend = durable::make_backend(&d.dir, d.kind, index, gen, d.fsync)
+                .map_err(|e| StoreError::io("backend open", &e))?;
+            device.install_replacement(backend);
+            durable::remove_incarnation(&d.dir, d.kind, index, old_gen);
+        } else {
+            device.replace();
+        }
         self.pool_epoch.fetch_add(1, Ordering::Release);
         Ok(())
     }
@@ -182,6 +253,14 @@ impl ArchivalStore {
     /// Stores an object; returns its id. Blocks whose target device is
     /// offline are simply not stored (their redundancy covers the gap until
     /// the scrubber repairs them).
+    ///
+    /// On a durable store the put is atomic across devices: intent is
+    /// journaled before any block lands, the blocks and metadata sidecar
+    /// are flushed, and only then is the commit journaled — so a crash
+    /// anywhere in between is rolled back on the next open and an
+    /// acknowledged put is durable. An `Err` on the durable path means
+    /// the object was **not** stored (it is absent from the in-memory
+    /// map and any partial on-disk state is rolled back at next open).
     pub fn put(&self, name: &str, payload: &[u8]) -> Result<ObjectId, StoreError> {
         let codec = Codec::new(&self.graph);
         let stripe = EncodedStripe::from_object(&codec, payload)?;
@@ -198,11 +277,36 @@ impl ArchivalStore {
             rotation,
             checksums: blocks.iter().map(|b| block_checksum(b)).collect(),
         };
+        if let Some(d) = &self.durability {
+            d.journal_append(&JournalRecord::PutIntent {
+                id,
+                rotation: rotation as u32,
+                nodes: self.graph.num_nodes() as u32,
+            })?;
+        }
         // Blocks are moved into the devices — the encode output is the
         // stored representation, no per-block clone on the ingest path.
+        let mut touched: Vec<usize> = Vec::new();
         for (node, block) in blocks.into_iter().enumerate() {
+            if let Some(d) = &self.durability {
+                d.crash.step().map_err(|e| StoreError::io("block write", &e))?;
+            }
             let dev = self.device_of_block(&meta, node as NodeId);
-            self.devices[dev].write_block((id, node as u32), block);
+            if self.devices[dev].write_block((id, node as u32), block) {
+                touched.push(dev);
+            }
+        }
+        if let Some(d) = &self.durability {
+            // Durability points, in order: block data, sidecar, commit.
+            // The device-level flush is what makes "commit" meaningful.
+            if d.fsync {
+                touched.dedup();
+                for &dev in &touched {
+                    self.devices[dev].flush();
+                }
+            }
+            d.write_sidecar(&meta)?;
+            d.journal_append(&JournalRecord::PutCommit { id })?;
         }
         self.objects.write().insert(id, meta);
         self.bump_generation(id);
@@ -364,8 +468,19 @@ impl ArchivalStore {
         Ok((payload, stats))
     }
 
-    /// Deletes an object from all devices.
+    /// Deletes an object from all devices. On a durable store the delete
+    /// is journaled first, so a crash mid-delete is replayed (to
+    /// completion, idempotently) on the next open.
     pub fn delete(&self, id: ObjectId) -> Result<(), StoreError> {
+        if let Some(d) = &self.durability {
+            let meta = self.meta(id).ok_or(StoreError::UnknownObject { id })?;
+            d.journal_append(&JournalRecord::Delete {
+                id,
+                rotation: meta.rotation as u32,
+                nodes: self.graph.num_nodes() as u32,
+            })?;
+            d.remove_sidecar(id)?;
+        }
         let meta = self
             .objects
             .write()
@@ -408,11 +523,20 @@ impl ArchivalStore {
         Some(block)
     }
 
-    /// Writes a (re-encoded) block back to its home device.
+    /// Writes a (re-encoded) block back to its home device. Repair
+    /// writes are not journaled — the block's content is pinned by the
+    /// checksum in the (already-durable) sidecar, so a torn repair write
+    /// is just a still-missing block the next scrub repairs again; on a
+    /// durable store the write is flushed per the fsync policy.
     pub(crate) fn write_raw_block(&self, meta: &ObjectMeta, node: NodeId, data: Vec<u8>) -> bool {
         let dev = self.device_of_block(meta, node);
         let written = self.devices[dev].write_block((meta.id, node), data);
         if written {
+            if let Some(d) = &self.durability {
+                if d.fsync {
+                    self.devices[dev].flush();
+                }
+            }
             self.bump_generation(meta.id);
         }
         written

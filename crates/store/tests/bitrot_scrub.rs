@@ -5,7 +5,9 @@
 //! repair it in place, and then let the incremental skip tier trust it
 //! again.
 
-use tornado_store::{ArchivalStore, ScrubAction, ScrubMode, Scrubber};
+use tornado_store::{
+    ArchivalStore, BackendKind, DurableConfig, ScrubAction, ScrubMode, Scrubber,
+};
 
 fn catalog_store_with_objects(objects: usize) -> (ArchivalStore, Vec<u64>) {
     let store = ArchivalStore::new(tornado_core::tornado_graph_1());
@@ -71,6 +73,69 @@ fn verify_tier_catches_and_repairs_out_of_band_bit_rot() {
     let after = scrubber.run(&store, 5, false, ScrubMode::Incremental);
     assert_eq!(after.skipped_count(), 5);
     assert_eq!(after.actions, vec![ScrubAction::Skipped; 5]);
+}
+
+#[test]
+fn verify_tier_catches_real_on_disk_rot_in_a_file_backend() {
+    // The durable variant of the test above: the corruption is written
+    // straight into the backend's block *file* with std::fs — the store
+    // process never sees the write — and the repair must survive a full
+    // close-and-reopen of the store.
+    let dir = std::env::temp_dir().join(format!("tornado-bitrot-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let graph = {
+        let mut b = tornado_graph::GraphBuilder::new(4);
+        b.begin_level("c1");
+        b.add_check(&[0, 1]);
+        b.add_check(&[2, 3]);
+        b.begin_level("c2");
+        b.add_check(&[4, 5]);
+        b.build().unwrap()
+    };
+    let (store, _) = ArchivalStore::open(
+        graph.clone(),
+        DurableConfig::new_nosync(dir.clone(), BackendKind::File),
+    )
+    .expect("open");
+    let payload: Vec<u8> = (0..4096)
+        .map(|b| ((b as u64).wrapping_mul(251)) as u8)
+        .collect();
+    let id = store.put("rot-on-disk", &payload).unwrap();
+    let meta = store.meta(id).unwrap();
+
+    // Rot node 2's block on disk, out of band. Writing garbage of the
+    // same length keeps the file present — a *silent* corruption, not an
+    // erasure.
+    let node = 2u32;
+    let device = store.device_of_block(&meta, node);
+    let blk = dir
+        .join("devices")
+        .join(format!("dev-{device}"))
+        .join("g0")
+        .join(format!("{id:016x}.{node:08x}.blk"));
+    let len = std::fs::metadata(&blk).unwrap().len() as usize;
+    std::fs::write(&blk, vec![0xA5u8; len]).unwrap();
+
+    // Verify tier hashes the real file contents, catches it, repairs it.
+    let caught = Scrubber::new(1).run(&store, 1, true, ScrubMode::Verify);
+    assert_eq!(caught.degraded_count(), 1, "on-disk rot detected");
+    let damaged = caught.stripes.iter().find(|s| s.degraded()).unwrap();
+    assert_eq!(damaged.id, id);
+    assert_eq!(damaged.missing_blocks, vec![node]);
+    assert_eq!(caught.blocks_repaired, 1);
+
+    // The repaired bytes are on disk, not just cached: reopen and check.
+    drop(store);
+    let (store, _) = ArchivalStore::open(
+        graph,
+        DurableConfig::new_nosync(dir.clone(), BackendKind::File),
+    )
+    .expect("reopen");
+    assert_eq!(store.get(id).unwrap(), payload);
+    let clean = Scrubber::new(1).run(&store, 1, false, ScrubMode::Verify);
+    assert_eq!(clean.degraded_count(), 0, "repair was durable");
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
