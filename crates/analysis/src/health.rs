@@ -1,0 +1,494 @@
+//! Conditional reliability for a *degraded* fleet (the live §5.1 model).
+//!
+//! Table 5 composes the conditional failure profile with the binomial
+//! device-failure model for a healthy fleet. A running store is rarely in
+//! that state: some devices are already offline. This module rebuilds the
+//! same Eq. 2–3 machinery *conditioned on the current erasure pattern* —
+//! the profile's row `j` becomes `P(fail | missing ∪ j further random
+//! losses)` and the binomial sums over the devices still standing — plus
+//! the per-stripe **risk margin** (minimum additional losses until
+//! unrecoverable) and an MTTDL-style view of the composed probability.
+//!
+//! Determinism matters here exactly as in `tornado_sim::monte_carlo`: the
+//! live health surface and any offline recomputation must agree bit for
+//! bit when given the same `(trials, seed, max_k)` parameters. With no
+//! devices missing the sampling path *is* [`sample_level`], so the live
+//! healthy-fleet number equals the offline
+//! [`crate::reliability::system_failure_probability`] exactly.
+
+use tornado_codec::ErasureDecoder;
+use tornado_graph::Graph;
+use tornado_numerics::{binomial_u128, compose_failure_probability};
+use tornado_sim::monte_carlo::sample_level;
+use tornado_sim::FailureProfile;
+
+/// Hours in a year (the AFR's implicit period), Julian convention.
+pub const HOURS_PER_YEAR: f64 = 8_766.0;
+
+/// Parameters for building a conditional failure profile.
+#[derive(Clone, Debug)]
+pub struct ConditionalConfig {
+    /// Monte-Carlo trials per additional-loss count `j` (when the row is
+    /// not exactly enumerable).
+    pub trials_per_k: u64,
+    /// Master seed: per-batch reseeding makes rows reproducible
+    /// regardless of scheduling, mirroring `tornado_sim::monte_carlo`.
+    pub seed: u64,
+    /// Largest additional-loss count measured. Rows past it inherit the
+    /// last measured fraction through the profile's monotone completion,
+    /// which is conservative (failure probability never decreases in the
+    /// loss count), so a small `max_k` still yields a sound upper tail.
+    pub max_k: usize,
+    /// Rows whose full enumeration `C(remaining, j)` is at most this are
+    /// enumerated exactly instead of sampled.
+    pub exact_cap: u64,
+}
+
+impl Default for ConditionalConfig {
+    fn default() -> Self {
+        Self {
+            trials_per_k: 4_000,
+            seed: 0x7042_6F72_6E61_646F,
+            max_k: 8,
+            exact_cap: 2_000,
+        }
+    }
+}
+
+/// Builds `P(fail | j additional losses)` for `j = 0..=max_k`, with the
+/// nodes in `missing` *already* erased in every trial.
+///
+/// The returned profile covers the `n − |missing|` remaining nodes, so it
+/// composes with the binomial model over the devices still standing.
+/// Row 0 is the exact decodability of the current pattern; later rows are
+/// exact enumerations when small enough, deterministic samples otherwise.
+/// With `missing` empty the sampled rows delegate to
+/// [`sample_level`], so the result is identical to
+/// `monte_carlo_profile` over the same `j` range, seed, and trial count.
+///
+/// # Panics
+/// Panics if any missing index is out of range or repeated.
+pub fn conditional_failure_profile(
+    graph: &Graph,
+    missing: &[usize],
+    cfg: &ConditionalConfig,
+) -> FailureProfile {
+    let n = graph.num_nodes();
+    let mut seen = vec![false; n];
+    for &d in missing {
+        assert!(d < n, "missing node {d} out of range ({n} nodes)");
+        assert!(!seen[d], "missing node {d} repeated");
+        seen[d] = true;
+    }
+    let n_rem = n - missing.len();
+    let mut profile = FailureProfile::new(n_rem);
+    let mut dec = ErasureDecoder::new(graph);
+    if !missing.is_empty() {
+        // Row 0: the current pattern itself, decided exactly.
+        let fails = !dec.decode(missing);
+        profile.record(0, 1, fails as u64, true);
+    }
+    let remaining: Vec<usize> = (0..n).filter(|&i| !seen[i]).collect();
+    for j in 1..=cfg.max_k.min(n_rem) {
+        if missing.is_empty() {
+            // Healthy fleet: the same stream `monte_carlo_profile` draws,
+            // so live and offline estimates agree exactly.
+            let failures = sample_level(graph, j, cfg.trials_per_k, cfg.seed);
+            profile.record(j, cfg.trials_per_k, failures, false);
+            continue;
+        }
+        let combos = binomial_u128(n_rem as u64, j as u64);
+        if combos <= cfg.exact_cap as u128 {
+            let mut failures = 0u64;
+            let mut scratch = missing.to_vec();
+            for_each_combination(remaining.len(), j, |idxs| {
+                scratch.truncate(missing.len());
+                scratch.extend(idxs.iter().map(|&i| remaining[i]));
+                if !dec.decode(&scratch) {
+                    failures += 1;
+                }
+                true
+            });
+            profile.record(j, combos as u64, failures, true);
+        } else {
+            let failures =
+                sample_conditional(&mut dec, missing, &remaining, j, cfg.trials_per_k, cfg.seed);
+            profile.record(j, cfg.trials_per_k, failures, false);
+        }
+    }
+    profile
+}
+
+/// Composes a conditional profile with the binomial failure model over the
+/// remaining devices: the live analogue of
+/// [`crate::reliability::system_failure_probability`]. `p_device` is the
+/// per-device failure probability over the modelled horizon (see
+/// [`horizon_failure_probability`]).
+pub fn conditional_failure_probability(
+    graph: &Graph,
+    missing: &[usize],
+    p_device: f64,
+    cfg: &ConditionalConfig,
+) -> f64 {
+    let profile = conditional_failure_profile(graph, missing, cfg);
+    compose_failure_probability(profile.num_nodes() as u64, p_device, &profile.conditional_vec())
+}
+
+/// Per-device failure probability over `horizon_hours`, from an annual
+/// failure rate: `1 − (1 − afr)^(horizon/year)` (independent exponential
+/// failures, the paper's no-repair convention).
+pub fn horizon_failure_probability(afr: f64, horizon_hours: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&afr), "afr {afr} is not a probability");
+    assert!(horizon_hours >= 0.0);
+    1.0 - (1.0 - afr).powf(horizon_hours / HOURS_PER_YEAR)
+}
+
+/// MTTDL-style summary of a composed loss probability: the mean time to
+/// data loss implied by `P(loss over horizon) = p_loss` under a constant
+/// hazard rate. `0` losses → infinite MTTDL; certainty → 0.
+pub fn mttdl_hours(p_loss: f64, horizon_hours: f64) -> f64 {
+    assert!(horizon_hours > 0.0);
+    if p_loss <= 0.0 {
+        return f64::INFINITY;
+    }
+    let p = p_loss.min(1.0);
+    // P(loss by t) = 1 − e^(−t/MTTDL)  ⇒  MTTDL = −t / ln(1 − p).
+    -horizon_hours / (1.0 - p).ln()
+}
+
+/// Minimum number of *additional* node losses (beyond `missing`) that
+/// makes the graph unrecoverable, searched exhaustively up to `cap`:
+///
+/// * `0` — the current pattern is already undecodable;
+/// * `1..=cap` — an exact margin (some set of that size fails, none
+///   smaller does);
+/// * `cap + 1` — every pattern with up to `cap` further losses decodes;
+///   the true margin is at least this value.
+///
+/// # Panics
+/// Panics if any missing index is out of range or repeated.
+pub fn risk_margin(graph: &Graph, missing: &[usize], cap: usize) -> usize {
+    let n = graph.num_nodes();
+    let mut seen = vec![false; n];
+    for &d in missing {
+        assert!(d < n, "missing node {d} out of range ({n} nodes)");
+        assert!(!seen[d], "missing node {d} repeated");
+        seen[d] = true;
+    }
+    let mut dec = ErasureDecoder::new(graph);
+    if !dec.decode(missing) {
+        return 0;
+    }
+    let remaining: Vec<usize> = (0..n).filter(|&i| !seen[i]).collect();
+    let mut scratch = missing.to_vec();
+    for j in 1..=cap.min(remaining.len()) {
+        let mut found = false;
+        for_each_combination(remaining.len(), j, |idxs| {
+            scratch.truncate(missing.len());
+            scratch.extend(idxs.iter().map(|&i| remaining[i]));
+            if !dec.decode(&scratch) {
+                found = true;
+                return false;
+            }
+            true
+        });
+        if found {
+            return j;
+        }
+    }
+    cap.min(remaining.len()) + 1
+}
+
+/// Deterministic batched sampling of `P(fail | missing ∪ j random further
+/// losses)`: the `monte_carlo` batching discipline (fixed-size batches,
+/// each reseeded from `(seed, j, batch)`) applied to partial Fisher–Yates
+/// draws over the remaining nodes.
+fn sample_conditional(
+    dec: &mut ErasureDecoder,
+    missing: &[usize],
+    remaining: &[usize],
+    j: usize,
+    trials: u64,
+    seed: u64,
+) -> u64 {
+    const BATCH: u64 = 4096;
+    let r = remaining.len();
+    let mut perm: Vec<usize> = Vec::new();
+    let mut scratch = missing.to_vec();
+    let mut failures = 0u64;
+    for batch in 0..trials.div_ceil(BATCH) {
+        let mut state = mix(seed, j as u64, batch);
+        perm.clear();
+        perm.extend(0..r);
+        let count = BATCH.min(trials - batch * BATCH);
+        for _ in 0..count {
+            for i in 0..j {
+                // Lemire-style bounded draw from the SplitMix64 stream —
+                // bias is ≤ 2⁻⁵⁶ for these ranges, far below sampling noise.
+                state = splitmix(state);
+                let span = (r - i) as u64;
+                let idx = i + ((state as u128 * span as u128) >> 64) as usize;
+                perm.swap(i, idx);
+            }
+            scratch.truncate(missing.len());
+            scratch.extend(perm[..j].iter().map(|&i| remaining[i]));
+            if !dec.decode(&scratch) {
+                failures += 1;
+            }
+        }
+    }
+    failures
+}
+
+/// SplitMix64-style seed mixing, the same constants the simulator uses so
+/// nearby `(seed, j, batch)` triples give unrelated streams.
+fn mix(seed: u64, k: u64, batch: u64) -> u64 {
+    splitmix(seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ batch.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Visits every `j`-combination of `0..n` in lexicographic order. The
+/// visitor returns `false` to stop early.
+fn for_each_combination(n: usize, j: usize, mut visit: impl FnMut(&[usize]) -> bool) {
+    if j > n {
+        return;
+    }
+    let mut idxs: Vec<usize> = (0..j).collect();
+    loop {
+        if !visit(&idxs) {
+            return;
+        }
+        // Advance the rightmost index that still has room.
+        let mut i = j;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if idxs[i] != i + n - j {
+                break;
+            }
+            if i == 0 {
+                return;
+            }
+        }
+        idxs[i] += 1;
+        for t in i + 1..j {
+            idxs[t] = idxs[t - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reliability::system_failure_probability;
+    use tornado_gen::mirror::generate_mirror;
+    use tornado_gen::regular::generate_regular;
+    use tornado_sim::{monte_carlo_profile, MonteCarloConfig};
+
+    #[test]
+    fn combinations_visit_all_and_stop_early() {
+        let mut seen = Vec::new();
+        for_each_combination(4, 2, |c| {
+            seen.push(c.to_vec());
+            true
+        });
+        assert_eq!(
+            seen,
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
+        );
+        let mut count = 0;
+        for_each_combination(5, 3, |_| {
+            count += 1;
+            count < 4
+        });
+        assert_eq!(count, 4, "visitor stops on false");
+        for_each_combination(2, 3, |_| panic!("j > n visits nothing"));
+        let mut empties = 0;
+        for_each_combination(3, 0, |c| {
+            assert!(c.is_empty());
+            empties += 1;
+            true
+        });
+        assert_eq!(empties, 1, "the empty combination once");
+    }
+
+    #[test]
+    fn healthy_fleet_matches_offline_model_exactly() {
+        // The tentpole acceptance bar: with zero observed failures the
+        // live estimate IS the offline §5.1 number — same sampling stream,
+        // same composition, bit-for-bit.
+        let g = generate_regular(24, 3, 7).unwrap();
+        let cfg = ConditionalConfig {
+            trials_per_k: 3_000,
+            seed: 99,
+            max_k: 6,
+            exact_cap: 0, // force the sample_level delegation path
+        };
+        let offline = monte_carlo_profile(
+            &g,
+            &MonteCarloConfig {
+                trials_per_k: cfg.trials_per_k,
+                seed: cfg.seed,
+                ks: Some((1..=cfg.max_k).collect()),
+            },
+        );
+        let afr = 0.01;
+        let live = conditional_failure_probability(&g, &[], afr, &cfg);
+        assert_eq!(live, system_failure_probability(&offline, afr));
+    }
+
+    #[test]
+    fn degraded_fleet_is_strictly_riskier() {
+        let g = generate_mirror(8).unwrap(); // 16 nodes, pairs (i, i+8)
+        let cfg = ConditionalConfig {
+            trials_per_k: 2_000,
+            seed: 5,
+            max_k: 6,
+            exact_cap: 2_000,
+        };
+        let afr = 0.01;
+        let healthy = conditional_failure_probability(&g, &[], afr, &cfg);
+        let degraded = conditional_failure_probability(&g, &[0, 3], afr, &cfg);
+        assert!(
+            degraded > healthy,
+            "degraded {degraded} must exceed healthy {healthy}"
+        );
+    }
+
+    #[test]
+    fn conditional_profile_rows_are_exact_for_small_counts() {
+        // Mirror of 4 pairs, node 0 missing: decoding fails exactly when
+        // node 4 (its mirror) also goes. Row 1 enumerates C(7,1) = 7
+        // patterns, one fatal.
+        let g = generate_mirror(4).unwrap();
+        let p = conditional_failure_profile(&g, &[0], &ConditionalConfig::default());
+        assert_eq!(p.num_nodes(), 7);
+        let e0 = p.entry(0);
+        assert!(e0.exact);
+        assert_eq!(e0.failures, 0, "one missing node always decodes");
+        let e1 = p.entry(1);
+        assert!(e1.exact);
+        assert_eq!((e1.trials, e1.failures), (7, 1));
+        // Row 2: C(7,2) = 21 patterns; fatal iff node 4 is in the pair
+        // (6 ways) or the pair is itself a mirror pair ({1,5},{2,6},{3,7}).
+        let e2 = p.entry(2);
+        assert!(e2.exact);
+        assert_eq!((e2.trials, e2.failures), (21, 9));
+    }
+
+    #[test]
+    fn undecodable_pattern_composes_to_near_certain_loss() {
+        let g = generate_mirror(4).unwrap();
+        let cfg = ConditionalConfig::default();
+        // A whole mirror pair gone: row 0 fails, so P(loss) = 1 regardless
+        // of further failures.
+        let p = conditional_failure_probability(&g, &[0, 4], 0.01, &cfg);
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn risk_margin_matches_brute_force_on_small_graphs() {
+        let graphs = [generate_mirror(4).unwrap(), generate_regular(12, 3, 1).unwrap()];
+        let missing_sets: [&[usize]; 4] = [&[], &[0], &[0, 3], &[1, 2, 5]];
+        for g in &graphs {
+            for missing in missing_sets {
+                let cap = 3;
+                let got = risk_margin(g, missing, cap);
+                let want = brute_force_margin(g, missing, cap);
+                assert_eq!(got, want, "graph n={} missing {missing:?}", g.num_nodes());
+            }
+        }
+    }
+
+    /// Independent oracle: test every subset of the remaining nodes up to
+    /// `cap` by bitmask enumeration (no shared combination walker).
+    fn brute_force_margin(g: &Graph, missing: &[usize], cap: usize) -> usize {
+        let n = g.num_nodes();
+        let mut dec = ErasureDecoder::new(g);
+        if !dec.decode(missing) {
+            return 0;
+        }
+        let remaining: Vec<usize> =
+            (0..n).filter(|i| !missing.contains(i)).collect();
+        let mut best = cap.min(remaining.len()) + 1;
+        for mask in 1u64..(1 << remaining.len()) {
+            let size = mask.count_ones() as usize;
+            if size > cap || size >= best {
+                continue;
+            }
+            let mut pattern = missing.to_vec();
+            for (i, &node) in remaining.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    pattern.push(node);
+                }
+            }
+            if !dec.decode(&pattern) {
+                best = size;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn risk_margin_degenerate_cases() {
+        let g = generate_mirror(4).unwrap();
+        // A dead mirror pair is already unrecoverable.
+        assert_eq!(risk_margin(&g, &[2, 6], 3), 0);
+        // Healthy mirror: the closest failure is any one full pair, two
+        // losses away.
+        assert_eq!(risk_margin(&g, &[], 3), 2);
+        // One node down: its mirror is a single loss away.
+        assert_eq!(risk_margin(&g, &[5], 3), 1);
+        // Cap smaller than the true margin reports cap + 1.
+        assert_eq!(risk_margin(&g, &[], 1), 2);
+    }
+
+    #[test]
+    fn horizon_probability_and_mttdl_behave() {
+        assert_eq!(horizon_failure_probability(0.0, 1_000.0), 0.0);
+        let year = horizon_failure_probability(0.01, HOURS_PER_YEAR);
+        assert!((year - 0.01).abs() < 1e-12);
+        let month = horizon_failure_probability(0.01, HOURS_PER_YEAR / 12.0);
+        assert!(month > 0.0 && month < year);
+
+        assert_eq!(mttdl_hours(0.0, 100.0), f64::INFINITY);
+        let m = mttdl_hours(1e-6, 8_766.0);
+        // Small p: MTTDL ≈ horizon / p.
+        assert!((m - 8_766.0 / 1e-6).abs() / m < 1e-3, "got {m}");
+        assert_eq!(mttdl_hours(1.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn sampled_conditional_rows_are_deterministic() {
+        let g = generate_regular(24, 3, 3).unwrap();
+        let cfg = ConditionalConfig {
+            trials_per_k: 2_000,
+            seed: 42,
+            max_k: 5,
+            exact_cap: 0, // force sampling even for small rows
+        };
+        let a = conditional_failure_profile(&g, &[1, 7], &cfg);
+        let b = conditional_failure_profile(&g, &[1, 7], &cfg);
+        assert_eq!(a, b);
+        let c = conditional_failure_profile(
+            &g,
+            &[1, 7],
+            &ConditionalConfig { seed: 43, ..cfg },
+        );
+        assert_ne!(a, c, "different seed, different stream");
+    }
+}

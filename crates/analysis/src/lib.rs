@@ -18,12 +18,16 @@
 //! * [`stopping`] — exact minimum blocking sets by certificate-guided
 //!   branch and bound, an independent cross-check of the brute-force
 //!   worst-case search.
+//! * [`health`] — the live variant of [`reliability`]: failure profiles and
+//!   P(loss) conditioned on the fleet's *current* erasure pattern, risk
+//!   margins (additional losses until unrecoverable), and MTTDL summaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adjust;
 pub mod critical;
+pub mod health;
 pub mod incremental;
 pub mod lifetime;
 pub mod overhead;
@@ -32,6 +36,10 @@ pub mod stopping;
 
 pub use adjust::{adjust_graph, AdjustConfig, AdjustOutcome, AdjustmentStep};
 pub use critical::{critical_sets, CriticalSet};
+pub use health::{
+    conditional_failure_probability, conditional_failure_profile, horizon_failure_probability,
+    mttdl_hours, risk_margin, ConditionalConfig,
+};
 pub use incremental::{incremental_overhead, IncrementalOverhead};
 pub use lifetime::{simulate_graph_lifetime, simulate_lifetime, LifetimeConfig, LifetimeReport};
 pub use stopping::{min_blocking_exact, minimum_distance};

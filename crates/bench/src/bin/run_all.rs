@@ -110,6 +110,10 @@ fn main() {
                 ("ops_per_sec_traced_1_in_256".into(), Json::F64(s.ops_per_sec_traced)),
                 ("tracing_overhead_frac".into(), Json::F64(s.tracing_overhead_frac)),
                 ("traced_spans_recorded".into(), Json::U64(s.traced_spans_recorded)),
+                ("ops_per_sec_health_off".into(), Json::F64(s.ops_per_sec_health_off)),
+                ("ops_per_sec_health_on".into(), Json::F64(s.ops_per_sec_health_on)),
+                ("health_recomputes".into(), Json::U64(s.health_recomputes)),
+                ("health_compute_frac".into(), Json::F64(s.health_compute_frac)),
             ]),
         ));
     }

@@ -564,6 +564,7 @@ pub fn serve(args: &ParsedArgs) -> CmdResult {
     let trace_slow_keep: usize = args.get_parsed("trace-slow-keep", 16)?;
     let slow_ms: u64 = args.get_parsed("slow-ms", 0)?;
     let timeseries_interval_ms: u64 = args.get_parsed("timeseries-ms", 500)?;
+    let health = health_config_from_args(args)?;
     let (graph, label) = if args.get("graph").is_some() || args.get("catalog").is_some() {
         load_target_graph(args)?
     } else {
@@ -647,6 +648,7 @@ pub fn serve(args: &ParsedArgs) -> CmdResult {
         trace_slow_keep,
         slow_request_us: slow_ms.saturating_mul(1_000),
         timeseries_interval_ms,
+        health,
         ..tornado_server::ServerConfig::default()
     };
     let handle = tornado_server::serve(config, std::sync::Arc::clone(&store), std::sync::Arc::clone(&server_obs))
@@ -881,6 +883,32 @@ pub fn watch(args: &ParsedArgs) -> CmdResult {
                 series.window_rate("server.requests").unwrap_or(0.0),
             );
         }
+        // The metrics snapshot embeds the observatory's cached document;
+        // one compact durability line rides under the rate row.
+        if let Some(health) = doc.get("health") {
+            let u = |sec: &str, key: &str| {
+                health.get(sec).and_then(|s| s.get(key)).and_then(Json::as_u64).unwrap_or(0)
+            };
+            let p_loss = health
+                .get("reliability")
+                .and_then(|r| r.get("p_loss"))
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN);
+            let alerts = match health.get("slo") {
+                Some(Json::Obj(slos)) => slos
+                    .iter()
+                    .map(|(_, e)| e.get("alerts_total").and_then(Json::as_u64).unwrap_or(0))
+                    .sum::<u64>(),
+                _ => 0,
+            };
+            println!(
+                "  health: P(loss)={p_loss:.3e} offline={} margin={} at-risk={}/{} alerts={alerts}",
+                u("fleet", "offline"),
+                u("margins", "min_margin"),
+                u("margins", "stripes_at_margin_le_1"),
+                u("margins", "stripes_total"),
+            );
+        }
         if count > 0 && tick >= count {
             return Ok(());
         }
@@ -922,6 +950,194 @@ pub fn validate_trace(args: &ParsedArgs) -> CmdResult {
     println!(
         "valid Chrome trace: {} events across {} traces ({} roots)",
         stats.events, stats.traces, stats.roots
+    );
+    Ok(())
+}
+
+/// Builds a [`tornado_server::HealthConfig`] from `serve` flags.
+/// `--slo-window label:short_ms:long_ms:threshold` (repeatable) replaces
+/// the standard 5m/1h + 30m/6h pairs — CI shrinks these to seconds so a
+/// burn-rate alert can fire inside a smoke test.
+fn health_config_from_args(args: &ParsedArgs) -> Result<tornado_server::HealthConfig, String> {
+    let defaults = tornado_server::HealthConfig::default();
+    let mut cfg = tornado_server::HealthConfig {
+        enabled: !args.flag("no-health"),
+        afr: args.get_parsed("afr", defaults.afr)?,
+        horizon_hours: args.get_parsed("horizon-hours", defaults.horizon_hours)?,
+        trials_per_k: args.get_parsed("health-trials", defaults.trials_per_k)?,
+        seed: args.get_parsed("health-seed", defaults.seed)?,
+        max_k: args.get_parsed("health-max-k", defaults.max_k)?,
+        margin_cap: args.get_parsed("margin-cap", defaults.margin_cap)?,
+        min_recompute_ms: args.get_parsed("health-recompute-ms", defaults.min_recompute_ms)?,
+        degraded_read_objective: args.get_parsed("slo-degraded", defaults.degraded_read_objective)?,
+        corruption_objective: args.get_parsed("slo-corruption", defaults.corruption_objective)?,
+        ..defaults
+    };
+    let windows = args.get_all("slo-window");
+    if !windows.is_empty() {
+        cfg.slo_windows = windows
+            .iter()
+            .map(|spec| {
+                let parts: Vec<&str> = spec.split(':').collect();
+                if parts.len() != 4 {
+                    return Err(format!(
+                        "--slo-window {spec}: expected label:short_ms:long_ms:threshold"
+                    ));
+                }
+                Ok(tornado_obs::slo::BurnWindow {
+                    label: parts[0].to_string(),
+                    short_ms: parts[1].parse().map_err(|e| format!("--slo-window {spec}: {e}"))?,
+                    long_ms: parts[2].parse().map_err(|e| format!("--slo-window {spec}: {e}"))?,
+                    threshold: parts[3].parse().map_err(|e| format!("--slo-window {spec}: {e}"))?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+    }
+    Ok(cfg)
+}
+
+/// `tornado health` — fetch a running server's durability document,
+/// validate it, and print a summary (or the raw JSON / Prometheus text).
+/// The `--expect-*` flags turn the command into a smoke-test assertion.
+pub fn health(args: &ParsedArgs) -> CmdResult {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7401").to_string();
+    let mut client =
+        tornado_server::Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let json = client.health().map_err(|e| format!("health: {e}"))?;
+    let doc = tornado_obs::json::parse(&json).map_err(|e| format!("health: parse error: {e}"))?;
+    tornado_server::validate_health(&doc).map_err(|e| format!("invalid health doc: {e}"))?;
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if args.flag("prometheus") {
+        print!("{}", tornado_obs::expo::render_flat("tornado_health", &doc));
+    } else if args.flag("json") {
+        println!("{json}");
+    } else {
+        print_health_summary(&doc);
+    }
+    check_health_expectations(args, &doc)
+}
+
+fn print_health_summary(doc: &Json) {
+    let g = |path: &[&str]| -> Option<&Json> {
+        let mut cur = doc;
+        for k in path {
+            cur = cur.get(k)?;
+        }
+        Some(cur)
+    };
+    let f = |path: &[&str]| g(path).and_then(Json::as_f64).unwrap_or(f64::NAN);
+    let u = |path: &[&str]| g(path).and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "fleet: {} devices, {} offline (pool epoch {})",
+        u(&["fleet", "devices"]),
+        u(&["fleet", "offline"]),
+        u(&["fleet", "pool_epoch"])
+    );
+    println!(
+        "reliability: P(loss|{:.0}h) = {:.3e} (healthy {:.3e}), afr {:.3}",
+        f(&["reliability", "horizon_hours"]),
+        f(&["reliability", "p_loss"]),
+        f(&["reliability", "p_loss_healthy"]),
+        f(&["reliability", "afr"]),
+    );
+    match g(&["reliability", "mttdl_hours"]).and_then(Json::as_f64) {
+        Some(m) => println!("mttdl: {:.3e} hours ({:.1} years)", m, m / 8_766.0),
+        None => println!("mttdl: effectively unbounded at this resolution"),
+    }
+    println!(
+        "margins: min {}{} (cap {}), {}/{} stripes at margin <= 1",
+        u(&["margins", "min_margin"]),
+        if g(&["margins", "min_margin_exact"]) == Some(&Json::Bool(false)) { "+" } else { "" },
+        u(&["margins", "margin_cap"]),
+        u(&["margins", "stripes_at_margin_le_1"]),
+        u(&["margins", "stripes_total"]),
+    );
+    if let Some(Json::Obj(slos)) = doc.get("slo") {
+        for (name, entry) in slos {
+            let firing: Vec<String> = entry
+                .get("windows")
+                .and_then(Json::as_arr)
+                .map(|ws| {
+                    ws.iter()
+                        .filter(|w| w.get("firing") == Some(&Json::Bool(true)))
+                        .filter_map(|w| w.get("label").and_then(Json::as_str))
+                        .map(String::from)
+                        .collect()
+                })
+                .unwrap_or_default();
+            println!(
+                "slo {name}: {}/{} bad (objective {}), alerts {}{}",
+                entry.get("bad").and_then(Json::as_u64).unwrap_or(0),
+                entry.get("total").and_then(Json::as_u64).unwrap_or(0),
+                entry.get("objective").and_then(Json::as_f64).unwrap_or(0.0),
+                entry.get("alerts_total").and_then(Json::as_u64).unwrap_or(0),
+                if firing.is_empty() {
+                    String::new()
+                } else {
+                    format!(" FIRING[{}]", firing.join(","))
+                },
+            );
+        }
+    }
+}
+
+/// `--expect-offline N`, `--expect-max-margin N`, `--expect-alert`:
+/// smoke-test assertions against a fetched (and already validated)
+/// health document.
+fn check_health_expectations(args: &ParsedArgs, doc: &Json) -> CmdResult {
+    if let Some(want) = args.get("expect-offline") {
+        let want: u64 = want.parse().map_err(|e| format!("--expect-offline: {e}"))?;
+        let got = doc
+            .get("fleet")
+            .and_then(|f| f.get("offline"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if got != want {
+            return Err(format!("expected {want} offline devices, health reports {got}"));
+        }
+    }
+    if let Some(want) = args.get("expect-max-margin") {
+        let want: u64 = want.parse().map_err(|e| format!("--expect-max-margin: {e}"))?;
+        let got = doc
+            .get("margins")
+            .and_then(|m| m.get("min_margin"))
+            .and_then(Json::as_u64)
+            .unwrap_or(u64::MAX);
+        if got > want {
+            return Err(format!("expected min margin <= {want}, health reports {got}"));
+        }
+    }
+    if args.flag("expect-alert") {
+        let fired = match doc.get("slo") {
+            Some(Json::Obj(slos)) => slos.iter().any(|(_, entry)| {
+                entry.get("alerts_total").and_then(Json::as_u64).unwrap_or(0) > 0
+            }),
+            _ => false,
+        };
+        if !fired {
+            return Err("expected at least one burn-rate alert, none fired".into());
+        }
+    }
+    Ok(())
+}
+
+/// `tornado validate-health` — check a saved health document parses and
+/// satisfies the `tornado-health-v1` schema (same `--expect-*` assertions
+/// as `health`, for post-hoc CI checks on captured files).
+pub fn validate_health(args: &ParsedArgs) -> CmdResult {
+    let path = args.require("file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = tornado_obs::json::parse(&text).map_err(|e| format!("{path}: parse error: {e}"))?;
+    tornado_server::validate_health(&doc).map_err(|e| format!("{path}: invalid: {e}"))?;
+    check_health_expectations(args, &doc)?;
+    println!(
+        "valid {} document: {} devices, {} offline, min margin {}",
+        tornado_server::HEALTH_SCHEMA,
+        doc.get("fleet").and_then(|f| f.get("devices")).and_then(Json::as_u64).unwrap_or(0),
+        doc.get("fleet").and_then(|f| f.get("offline")).and_then(Json::as_u64).unwrap_or(0),
+        doc.get("margins").and_then(|m| m.get("min_margin")).and_then(Json::as_u64).unwrap_or(0),
     );
     Ok(())
 }

@@ -55,6 +55,13 @@ COMMANDS:
                                                      [--trace-sample N] [--trace-file FILE]
                                                      [--trace-capacity 4096] [--trace-slow-keep 16]
                                                      [--slow-ms N] [--timeseries-ms 500]
+                                                     [--no-health] [--afr 0.029]
+                                                     [--horizon-hours 8760]
+                                                     [--health-trials 2000] [--health-seed N]
+                                                     [--health-max-k 6] [--margin-cap 2]
+                                                     [--health-recompute-ms 2000]
+                                                     [--slo-degraded 0.05] [--slo-corruption 0.01]
+                                                     [--slo-window label:short:long:thresh]...
     put          Store one object on a server        --addr ADDR --name NAME
                                                      --payload-file FILE (prints the id)
     get          Fetch one object from a server      --addr ADDR --id N [--out FILE]
@@ -68,6 +75,11 @@ COMMANDS:
                                                      [--trace-sample 256] [--op-limit N]
     watch        Live windowed rates from a server    --addr ADDR [--interval-ms 1000]
                                                      [--count N]
+    health       Durability observatory snapshot      --addr ADDR [--json | --prometheus]
+                                                     [--out FILE] [--expect-offline N]
+                                                     [--expect-max-margin N] [--expect-alert]
+    validate-health  Validate a health document       --file FILE [--expect-offline N]
+                                                     [--expect-max-margin N] [--expect-alert]
     trace        Export server spans (Chrome JSON)    --addr ADDR [--out FILE]
     validate-trace  Validate a trace export           --file FILE [--require SPAN]...
 
@@ -106,6 +118,8 @@ pub fn run_command(command: &str, parsed: &ParsedArgs) -> Result<(), String> {
         "get" => commands::get(parsed),
         "load" => commands::load(parsed),
         "watch" => commands::watch(parsed),
+        "health" => commands::health(parsed),
+        "validate-health" => commands::validate_health(parsed),
         "trace" => commands::trace(parsed),
         "validate-trace" => commands::validate_trace(parsed),
         other => Err(format!("unknown command '{other}'")),

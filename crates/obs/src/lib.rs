@@ -23,7 +23,11 @@
 //! * [`Tracer`] — request-scoped span collection with deterministic
 //!   1-in-N sampling and a Chrome trace-event exporter;
 //! * [`TimeSeries`] — a bounded ring of periodic counter samples for
-//!   windowed rates.
+//!   windowed rates;
+//! * [`SloTracker`] — error budgets with multi-window burn-rate alert
+//!   transitions;
+//! * [`expo`] — Prometheus-style text exposition of snapshots and health
+//!   documents.
 //!
 //! Everything is built on `std` alone — no external crates — so the
 //! workspace keeps building offline.
@@ -34,10 +38,12 @@
 pub mod clock;
 pub mod counter;
 pub mod events;
+pub mod expo;
 pub mod histogram;
 pub mod json;
 pub mod progress;
 pub mod recorder;
+pub mod slo;
 pub mod snapshot;
 pub mod span;
 pub mod timeseries;
@@ -50,6 +56,7 @@ pub use histogram::Histogram;
 pub use json::Json;
 pub use progress::{Progress, ProgressConfig, ProgressTarget};
 pub use recorder::Recorder;
+pub use slo::{standard_windows, BurnReading, BurnWindow, SloAlert, SloTracker};
 pub use snapshot::Snapshot;
 pub use span::SpanTimer;
 pub use timeseries::{SeriesPoint, TimeSeries};

@@ -198,6 +198,36 @@ mod tests {
     }
 
     #[test]
+    fn window_rate_clamps_counter_reset_after_replacement() {
+        // A device replacement restarts its counters from zero: the whole
+        // window now ends below where it started. The rate must clamp to
+        // 0, not underflow through the u64 subtraction.
+        let ts = TimeSeries::new(8);
+        ts.push(point(0, 10_000, 9));
+        ts.push(point(500, 12_000, 9));
+        ts.push(point(1_000, 30, 9)); // replaced: counter restarted
+        assert_eq!(ts.window_rate("ops"), Some(0.0));
+        assert_eq!(ts.latest_rate("ops"), Some(0.0));
+        // Post-reset growth reads normally once the window refills.
+        ts.push(point(1_500, 530, 9));
+        assert_eq!(ts.latest_rate("ops"), Some(1_000.0));
+    }
+
+    #[test]
+    fn single_point_series_has_no_rates() {
+        let ts = TimeSeries::new(8);
+        ts.push(point(42, 7, 7));
+        assert_eq!(ts.latest_rate("ops"), None);
+        assert_eq!(ts.window_rate("ops"), None);
+        assert_eq!(ts.window_rate("missing"), None);
+        // Two samples at the same timestamp: dt = 0 stays rate-less
+        // rather than dividing by zero.
+        ts.push(point(42, 9, 7));
+        assert_eq!(ts.latest_rate("ops"), None);
+        assert_eq!(ts.window_rate("ops"), None);
+    }
+
+    #[test]
     fn json_round_trips_through_parser() {
         let ts = TimeSeries::new(8);
         ts.push(point(100, 1, 2));

@@ -131,6 +131,15 @@ impl Client {
         }
     }
 
+    /// Admin: fetches the server's `tornado-health-v1` durability
+    /// document (live P(loss), risk margins, SLO burn rates) as JSON.
+    pub fn health(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(Op::Health)? {
+            Response::HealthOk { json } => Ok(json),
+            other => Err(error_from(other, "HEALTH")),
+        }
+    }
+
     /// Admin: exports the server's retained trace spans as Chrome
     /// trace-event JSON (loadable in Perfetto).
     pub fn trace_export(&mut self) -> Result<String, ClientError> {

@@ -1,5 +1,61 @@
 //! Server configuration.
 
+use tornado_obs::slo::{standard_windows, BurnWindow};
+
+/// Tunables for the durability observatory ([`crate::health::HealthModel`]).
+#[derive(Clone, Debug)]
+pub struct HealthConfig {
+    /// Master switch; off skips model construction entirely.
+    pub enabled: bool,
+    /// Annualized per-device failure rate fed into Eq. 2–3.
+    pub afr: f64,
+    /// Horizon the published P(loss) covers, in hours.
+    pub horizon_hours: f64,
+    /// Monte-Carlo trials per additional-loss count for the conditional
+    /// profile rows that cannot be enumerated exactly.
+    pub trials_per_k: u64,
+    /// Seed for the conditional profile sampling (deterministic — an
+    /// offline recomputation with the same parameters matches exactly).
+    pub seed: u64,
+    /// Deepest additional-loss count measured; further rows saturate
+    /// through the profile's monotone completion.
+    pub max_k: usize,
+    /// Exhaustive-search cap for risk margins: margins up to this are
+    /// exact, beyond it the model reports `margin > cap`.
+    pub margin_cap: usize,
+    /// Minimum milliseconds between model recomputations. Dirty state
+    /// (a fail/replace/scrub transition) inside the window waits for the
+    /// next tick; a HEALTH request forces at most one early recompute.
+    pub min_recompute_ms: u64,
+    /// Error budget for degraded reads: allowed fraction of GETs served
+    /// through the decoder.
+    pub degraded_read_objective: f64,
+    /// Error budget for scrub corruption: allowed fraction of scrubbed
+    /// stripes found damaged.
+    pub corruption_objective: f64,
+    /// Burn-rate window pairs shared by both SLOs (CI shrinks these to
+    /// seconds so an alert can fire inside a smoke test).
+    pub slo_windows: Vec<BurnWindow>,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            afr: 0.029, // the paper's Table 5 disk AFR
+            horizon_hours: 24.0 * 365.0,
+            trials_per_k: 2_000,
+            seed: 0x7042_6F72_6E61_646F,
+            max_k: 6,
+            margin_cap: 2,
+            min_recompute_ms: 2_000,
+            degraded_read_objective: 0.05,
+            corruption_objective: 0.01,
+            slo_windows: standard_windows(),
+        }
+    }
+}
+
 /// Tunables for one [`crate::server::serve`] instance.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -35,6 +91,8 @@ pub struct ServerConfig {
     /// Interval between time-series counter samples in milliseconds;
     /// 0 disables the sampler thread.
     pub timeseries_interval_ms: u64,
+    /// Durability-observatory settings (live P(loss), margins, SLOs).
+    pub health: HealthConfig,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +108,7 @@ impl Default for ServerConfig {
             trace_slow_keep: 16,
             slow_request_us: 0,
             timeseries_interval_ms: 500,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -68,5 +127,13 @@ mod tests {
         assert_eq!(c.trace_sample, 0, "tracing is opt-in");
         assert!(c.trace_capacity >= 1);
         assert!(c.timeseries_interval_ms >= 1);
+        let h = &c.health;
+        assert!(h.enabled, "the observatory is on by default");
+        assert!(h.afr > 0.0 && h.afr < 1.0);
+        assert!(h.horizon_hours > 0.0);
+        assert!(h.trials_per_k >= 1 && h.max_k >= 1);
+        assert!(h.margin_cap >= 1);
+        assert!(h.degraded_read_objective > 0.0 && h.corruption_objective > 0.0);
+        assert_eq!(h.slo_windows.len(), 2, "fast + slow pairs");
     }
 }

@@ -371,6 +371,26 @@ fn execute(
             let elapsed_ms = started.elapsed().as_millis() as u64;
             Response::MetricsOk { json: obs.snapshot(store, elapsed_ms).to_pretty() }
         }
+        Op::Health => match obs.health.get() {
+            Some(model) => {
+                let start_us = trace.map(|t| t.tracer.now_us()).unwrap_or_default();
+                let before = model.recomputes.get();
+                let now_ms = started.elapsed().as_millis() as u64;
+                let doc = model.document(store, obs, now_ms);
+                if let Some(t) = trace {
+                    t.child(
+                        "health.document",
+                        start_us,
+                        t.tracer.now_us().saturating_sub(start_us),
+                        vec![("recomputed", Json::Bool(model.recomputes.get() > before))],
+                    );
+                }
+                Response::HealthOk { json: doc.to_pretty() }
+            }
+            None => Response::BadRequest {
+                message: "health observatory disabled on this server".into(),
+            },
+        },
         Op::TraceExport => Response::TraceOk {
             json: to_chrome_trace(&obs.tracer.spans()).to_pretty(),
         },

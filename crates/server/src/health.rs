@@ -1,0 +1,724 @@
+//! The durability observatory: live §5.1 reliability for a running store.
+//!
+//! A [`HealthModel`] folds the serving layer's telemetry — which devices
+//! are actually offline, scrub outcomes, degraded-read counts — into the
+//! same Eq. 2–3 machinery the offline `analysis` crate uses, and
+//! publishes the result as a validated `tornado-health-v1` document:
+//!
+//! * **conditional P(loss)** over a configurable horizon, with the
+//!   failure profile seeded by the actually-missing nodes (an empty
+//!   fleet-state reproduces the offline `system_failure_probability`
+//!   bit for bit, same seed and trial count);
+//! * **risk margins** per stripe rotation class — the minimum number of
+//!   *additional* device losses until some stripe becomes unrecoverable —
+//!   with a "stripes at margin ≤ 1" gauge for dashboards;
+//! * an **MTTDL-style** restatement of the composed loss probability and
+//!   an effective AFR from observed failure/replacement transitions;
+//! * **SLO burn rates** for degraded reads and scrub corruption over
+//!   multi-window pairs, with edge-triggered alert events through the
+//!   server's [`EventSink`](tornado_obs::EventSink).
+//!
+//! Recomputation is event-driven: the model watches the store's pool
+//! epoch and the scrub decode counter, recomputes only on transitions
+//! (rate-limited by `min_recompute_ms`), and serves HEALTH requests from
+//! the cached document otherwise. Steady-state cost is therefore a few
+//! counter reads per sampler tick — the load bench asserts the overhead
+//! stays under 2 %.
+
+use crate::config::HealthConfig;
+use crate::obs::ServerObserver;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+use tornado_analysis::health::{
+    conditional_failure_probability, horizon_failure_probability, mttdl_hours, risk_margin,
+    ConditionalConfig, HOURS_PER_YEAR,
+};
+use tornado_obs::{Counter, Histogram, Json, SloTracker};
+use tornado_store::ArchivalStore;
+
+/// Schema tag of the health document.
+pub const HEALTH_SCHEMA: &str = "tornado-health-v1";
+
+/// At most this many distinct rotation classes get the full (depth
+/// `margin_cap`) margin search per recompute; the rest fall back to the
+/// cheap depth-1 probe and report a floor. Classes are prioritised by
+/// stripe count, so the floor only ever applies to the long tail.
+const MAX_DEEP_CLASSES: usize = 16;
+
+/// Total decode attempts the deep margin search may spend per recompute
+/// (the depth-`cap` search enumerates `sum_j C(n_rem, j)` patterns per
+/// class, which grows quadratically in fleet size for cap 2). When the
+/// budget runs out remaining classes keep their proven depth-1 floor —
+/// a recompute stays milliseconds even on wide fleets with many distinct
+/// rotation classes.
+const DEEP_DECODE_BUDGET: u64 = 50_000;
+
+struct State {
+    doc: Option<Json>,
+    last_recompute_ms: Option<u64>,
+    last_pool_epoch: Option<u64>,
+    last_scrub_decoded: u64,
+    last_offline: usize,
+    failures_seen: u64,
+    replacements_seen: u64,
+    slo_degraded: SloTracker,
+    slo_corruption: SloTracker,
+}
+
+/// The live durability model. One per server; shared via
+/// [`ServerObserver::health`](crate::obs::ServerObserver).
+pub struct HealthModel {
+    config: HealthConfig,
+    /// Healthy-fleet baseline P(loss): the graph never changes, so this
+    /// is computed once and reused by every recompute.
+    healthy_p_loss: OnceLock<f64>,
+    /// Model recomputations performed.
+    pub recomputes: Counter,
+    /// Wall-clock microseconds per recomputation.
+    pub recompute_us: Histogram,
+    /// Cumulative burn-rate alert firings (both SLOs, fire edges only).
+    pub alerts: Counter,
+    state: Mutex<State>,
+}
+
+impl HealthModel {
+    /// Builds an idle model; nothing is computed until the first tick or
+    /// HEALTH request.
+    pub fn new(config: HealthConfig) -> Self {
+        let state = State {
+            doc: None,
+            last_recompute_ms: None,
+            last_pool_epoch: None,
+            last_scrub_decoded: 0,
+            last_offline: 0,
+            failures_seen: 0,
+            replacements_seen: 0,
+            slo_degraded: SloTracker::new(
+                "degraded_reads",
+                config.degraded_read_objective,
+                config.slo_windows.clone(),
+            ),
+            slo_corruption: SloTracker::new(
+                "scrub_corruption",
+                config.corruption_objective,
+                config.slo_windows.clone(),
+            ),
+        };
+        Self {
+            config,
+            healthy_p_loss: OnceLock::new(),
+            recomputes: Counter::new(),
+            recompute_us: Histogram::new(),
+            alerts: Counter::new(),
+            state: Mutex::new(state),
+        }
+    }
+
+    /// The model's configuration (CLI surfaces echo parameters from it).
+    pub fn config(&self) -> &HealthConfig {
+        &self.config
+    }
+
+    fn conditional_config(&self) -> ConditionalConfig {
+        ConditionalConfig {
+            trials_per_k: self.config.trials_per_k,
+            seed: self.config.seed,
+            max_k: self.config.max_k,
+            ..ConditionalConfig::default()
+        }
+    }
+
+    /// Periodic drive, called from the server's sampler thread: feeds the
+    /// SLO trackers, emits alert transitions, counts fleet transitions,
+    /// and recomputes the model if it is dirty and the rate limit allows.
+    /// Steady-state (no transitions) this is a handful of counter reads.
+    pub fn tick(&self, store: &ArchivalStore, obs: &ServerObserver, now_ms: u64) {
+        let mut st = self.state.lock().unwrap();
+        let offline = store.offline_devices().len();
+        if offline > st.last_offline {
+            st.failures_seen += (offline - st.last_offline) as u64;
+        } else {
+            st.replacements_seen += (st.last_offline - offline) as u64;
+        }
+        st.last_offline = offline;
+
+        let decoded = obs.store_obs.stripes_decoded.get();
+        let checked = obs.store_obs.stripes_verified.get() + decoded;
+        st.slo_degraded.record(now_ms, obs.degraded_reads.get(), obs.gets.get());
+        st.slo_corruption.record(now_ms, decoded, checked);
+        let mut transitions = st.slo_degraded.evaluate(now_ms);
+        transitions.extend(st.slo_corruption.evaluate(now_ms));
+        for a in &transitions {
+            if a.firing {
+                self.alerts.inc();
+            }
+            obs.events.emit(
+                "slo.burn_rate",
+                &[
+                    ("slo", Json::Str(a.slo.clone())),
+                    ("window", Json::Str(a.window.clone())),
+                    ("firing", Json::Bool(a.firing)),
+                    ("burn_short", Json::F64(a.burn_short)),
+                    ("burn_long", Json::F64(a.burn_long)),
+                    ("threshold", Json::F64(a.threshold)),
+                ],
+            );
+        }
+
+        let due = st
+            .last_recompute_ms
+            .is_none_or(|t| now_ms.saturating_sub(t) >= self.config.min_recompute_ms);
+        // Periodic slow refresh keeps stripe counts from going stale on a
+        // store that only ever ingests (no failure, no scrub find).
+        let stale = st
+            .last_recompute_ms
+            .is_some_and(|t| now_ms.saturating_sub(t) >= 10 * self.config.min_recompute_ms.max(1));
+        if due && (st.doc.is_none() || self.dirty(&st, store, obs) || stale) {
+            self.recompute(&mut st, store, obs, now_ms);
+        }
+    }
+
+    /// The current document, recomputing first if the fleet has changed
+    /// since the cached one (a HEALTH request never reports an erasure
+    /// pattern the store is no longer in).
+    pub fn document(&self, store: &ArchivalStore, obs: &ServerObserver, now_ms: u64) -> Json {
+        let mut st = self.state.lock().unwrap();
+        if st.doc.is_none() || self.dirty(&st, store, obs) {
+            self.recompute(&mut st, store, obs, now_ms);
+        }
+        st.doc.clone().expect("recompute always installs a document")
+    }
+
+    /// The cached document, if any recompute has happened (no store
+    /// access, no recompute — the metrics snapshot path uses this).
+    pub fn cached(&self) -> Option<Json> {
+        self.state.lock().unwrap().doc.clone()
+    }
+
+    fn dirty(&self, st: &State, store: &ArchivalStore, obs: &ServerObserver) -> bool {
+        st.last_pool_epoch != Some(store.pool_epoch())
+            || st.last_scrub_decoded != obs.store_obs.stripes_decoded.get()
+    }
+
+    fn recompute(&self, st: &mut State, store: &ArchivalStore, obs: &ServerObserver, now_ms: u64) {
+        let t0 = Instant::now();
+        let ccfg = self.conditional_config();
+        let graph = store.graph();
+        let n = store.num_devices();
+        let offline = store.offline_devices();
+        let p_device = horizon_failure_probability(self.config.afr, self.config.horizon_hours);
+        let healthy = *self
+            .healthy_p_loss
+            .get_or_init(|| conditional_failure_probability(graph, &[], p_device, &ccfg));
+        // Fleet-level estimate: the identity rotation class (node index ==
+        // device index). The full per-class picture is in `margins`.
+        let p_loss = if offline.is_empty() {
+            healthy
+        } else {
+            conditional_failure_probability(graph, &offline, p_device, &ccfg)
+        };
+
+        // Rotation classes: stripes whose offline *nodes* coincide share
+        // one margin computation. Healthy fleets collapse to one class.
+        let metas = store.list();
+        let mut classes: BTreeMap<Vec<usize>, u64> = BTreeMap::new();
+        for meta in &metas {
+            let rot = meta.rotation % n;
+            let mut nodes: Vec<usize> = offline.iter().map(|&d| (d + n - rot) % n).collect();
+            nodes.sort_unstable();
+            *classes.entry(nodes).or_insert(0) += 1;
+        }
+        if classes.is_empty() {
+            classes.insert(offline.clone(), 0);
+        }
+        let mut ranked: Vec<(Vec<usize>, u64)> = classes.into_iter().collect();
+        ranked.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+
+        let cap = self.config.margin_cap;
+        let mut rows = Vec::new();
+        let mut min_margin = usize::MAX;
+        let mut min_exact = false;
+        let mut stripes_total = 0u64;
+        let mut stripes_at_risk = 0u64;
+        let mut deep_searched = 0usize;
+        let mut deep_budget = DEEP_DECODE_BUDGET;
+        for (missing, stripes) in &ranked {
+            let shallow = risk_margin(graph, missing, 1);
+            let deep_cost = deep_search_decodes(graph.num_nodes() - missing.len(), cap);
+            let (margin, exact) = if shallow <= 1 {
+                (shallow, true)
+            } else if cap <= 1 {
+                (shallow, false)
+            } else if deep_searched < MAX_DEEP_CLASSES && deep_cost <= deep_budget {
+                deep_searched += 1;
+                deep_budget -= deep_cost;
+                let deep = risk_margin(graph, missing, cap);
+                (deep, deep <= cap)
+            } else {
+                (2, false) // floor: proven > 1, search budget spent
+            };
+            stripes_total += stripes;
+            if margin <= 1 {
+                stripes_at_risk += stripes;
+            }
+            match margin.cmp(&min_margin) {
+                std::cmp::Ordering::Less => {
+                    min_margin = margin;
+                    min_exact = exact;
+                }
+                std::cmp::Ordering::Equal => min_exact |= exact,
+                std::cmp::Ordering::Greater => {}
+            }
+            if rows.len() < 8 {
+                rows.push(Json::Obj(vec![
+                    (
+                        "missing_nodes".into(),
+                        Json::Arr(missing.iter().map(|&d| Json::U64(d as u64)).collect()),
+                    ),
+                    ("stripes".into(), Json::U64(*stripes)),
+                    ("margin".into(), Json::U64(margin as u64)),
+                    ("exact".into(), Json::Bool(exact)),
+                ]));
+            }
+        }
+
+        let decoded = obs.store_obs.stripes_decoded.get();
+        let checked = obs.store_obs.stripes_verified.get() + decoded;
+        let elapsed_hours = now_ms as f64 / 3_600_000.0;
+        let device_hours = n as f64 * elapsed_hours;
+        let effective_afr = if st.failures_seen == 0 || device_hours <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-(st.failures_seen as f64 / device_hours) * HOURS_PER_YEAR).exp()
+        };
+
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::Str(HEALTH_SCHEMA.into())),
+            ("generated_ms".into(), Json::U64(now_ms)),
+            (
+                "fleet".into(),
+                Json::Obj(vec![
+                    ("devices".into(), Json::U64(n as u64)),
+                    ("offline".into(), Json::U64(offline.len() as u64)),
+                    (
+                        "offline_devices".into(),
+                        Json::Arr(offline.iter().map(|&d| Json::U64(d as u64)).collect()),
+                    ),
+                    ("io_errors".into(), Json::U64(device_stat(store, |s| s.io_errors))),
+                    (
+                        "failed_writes".into(),
+                        Json::U64(device_stat(store, |s| s.failed_writes)),
+                    ),
+                    ("pool_epoch".into(), Json::U64(store.pool_epoch())),
+                ]),
+            ),
+            (
+                "reliability".into(),
+                Json::Obj(vec![
+                    ("afr".into(), Json::F64(self.config.afr)),
+                    ("horizon_hours".into(), Json::F64(self.config.horizon_hours)),
+                    ("p_device_horizon".into(), Json::F64(p_device)),
+                    ("p_loss".into(), Json::F64(p_loss)),
+                    ("p_loss_healthy".into(), Json::F64(healthy)),
+                    ("mttdl_hours".into(), finite_or_null(mttdl_hours(p_loss, self.config.horizon_hours))),
+                    (
+                        "missing_nodes".into(),
+                        Json::Arr(offline.iter().map(|&d| Json::U64(d as u64)).collect()),
+                    ),
+                    ("trials_per_k".into(), Json::U64(self.config.trials_per_k)),
+                    ("seed".into(), Json::U64(self.config.seed)),
+                    ("max_k".into(), Json::U64(self.config.max_k as u64)),
+                ]),
+            ),
+            (
+                "margins".into(),
+                Json::Obj(vec![
+                    ("min_margin".into(), Json::U64(min_margin as u64)),
+                    ("min_margin_exact".into(), Json::Bool(min_exact)),
+                    ("margin_cap".into(), Json::U64(cap as u64)),
+                    ("classes".into(), Json::U64(ranked.len() as u64)),
+                    ("classes_deep_searched".into(), Json::U64(deep_searched as u64)),
+                    ("stripes_total".into(), Json::U64(stripes_total)),
+                    ("stripes_at_margin_le_1".into(), Json::U64(stripes_at_risk)),
+                    ("per_class".into(), Json::Arr(rows)),
+                ]),
+            ),
+            (
+                "bitrot".into(),
+                Json::Obj(vec![
+                    ("stripes_checked".into(), Json::U64(checked)),
+                    ("corrupt_stripes".into(), Json::U64(decoded)),
+                    (
+                        "corruption_rate".into(),
+                        Json::F64(if checked == 0 { 0.0 } else { decoded as f64 / checked as f64 }),
+                    ),
+                    ("blocks_repaired".into(), Json::U64(obs.store_obs.blocks_repaired.get())),
+                ]),
+            ),
+            (
+                "slo".into(),
+                Json::Obj(vec![
+                    (
+                        "degraded_reads".into(),
+                        slo_json(&st.slo_degraded, obs.degraded_reads.get(), obs.gets.get(), now_ms),
+                    ),
+                    (
+                        "scrub_corruption".into(),
+                        slo_json(&st.slo_corruption, decoded, checked, now_ms),
+                    ),
+                ]),
+            ),
+            (
+                "observed".into(),
+                Json::Obj(vec![
+                    ("failures".into(), Json::U64(st.failures_seen)),
+                    ("replacements".into(), Json::U64(st.replacements_seen)),
+                    ("elapsed_hours".into(), Json::F64(elapsed_hours)),
+                    ("effective_afr".into(), Json::F64(effective_afr)),
+                ]),
+            ),
+            (
+                "recompute".into(),
+                Json::Obj(vec![
+                    ("count".into(), Json::U64(self.recomputes.get())),
+                    ("total_us".into(), Json::U64(self.recompute_us.sum())),
+                ]),
+            ),
+        ]);
+
+        st.doc = Some(doc);
+        st.last_recompute_ms = Some(now_ms);
+        st.last_pool_epoch = Some(store.pool_epoch());
+        st.last_scrub_decoded = obs.store_obs.stripes_decoded.get();
+        let us = t0.elapsed().as_micros() as u64;
+        self.recomputes.inc();
+        self.recompute_us.record(us);
+        obs.events.emit(
+            "health.recompute",
+            &[
+                ("us", Json::U64(us)),
+                ("offline", Json::U64(offline.len() as u64)),
+                ("p_loss", Json::F64(p_loss)),
+                ("min_margin", Json::U64(min_margin as u64)),
+            ],
+        );
+    }
+}
+
+/// Decode attempts a depth-`cap` margin search costs: `sum_{j<=cap}
+/// C(n_rem, j)`, saturating (a saturated estimate simply never fits the
+/// budget).
+fn deep_search_decodes(n_rem: usize, cap: usize) -> u64 {
+    let mut total: u64 = 0;
+    let mut c: u128 = 1;
+    for j in 1..=cap.min(n_rem) {
+        c = c * (n_rem - j + 1) as u128 / j as u128;
+        total = total.saturating_add(u64::try_from(c).unwrap_or(u64::MAX));
+    }
+    total
+}
+
+fn device_stat(store: &ArchivalStore, f: impl Fn(&tornado_store::DeviceStats) -> u64) -> u64 {
+    (0..store.num_devices())
+        .filter_map(|d| store.device(d).ok())
+        .map(|d| f(&d.stats()))
+        .sum()
+}
+
+fn finite_or_null(v: f64) -> Json {
+    if v.is_finite() {
+        Json::F64(v)
+    } else {
+        Json::Null
+    }
+}
+
+fn slo_json(t: &SloTracker, bad: u64, total: u64, now_ms: u64) -> Json {
+    let windows = t
+        .readings(now_ms)
+        .into_iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("label".into(), Json::Str(r.label)),
+                ("burn_short".into(), Json::F64(r.short)),
+                ("burn_long".into(), Json::F64(r.long)),
+                ("threshold".into(), Json::F64(r.threshold)),
+                ("firing".into(), Json::Bool(r.firing)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("objective".into(), Json::F64(t.objective())),
+        ("bad".into(), Json::U64(bad)),
+        ("total".into(), Json::U64(total)),
+        ("alerts_total".into(), Json::U64(t.alerts_total())),
+        ("windows".into(), Json::Arr(windows)),
+    ])
+}
+
+/// Validates a `tornado-health-v1` document: schema tag, the required
+/// sections, and basic invariants (probabilities in range, offline list
+/// consistent with its count). Unknown keys are ignored everywhere, so
+/// the schema can grow without breaking old validators.
+pub fn validate_health(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(HEALTH_SCHEMA) => {}
+        Some(other) => return Err(format!("schema {other:?}, expected {HEALTH_SCHEMA:?}")),
+        None => return Err("missing schema".into()),
+    }
+    let fleet = doc.get("fleet").ok_or("missing fleet section")?;
+    let devices = fleet
+        .get("devices")
+        .and_then(Json::as_u64)
+        .ok_or("fleet.devices must be a u64")?;
+    let offline = fleet
+        .get("offline")
+        .and_then(Json::as_u64)
+        .ok_or("fleet.offline must be a u64")?;
+    if offline > devices {
+        return Err(format!("{offline} offline devices out of {devices}"));
+    }
+    let listed = fleet
+        .get("offline_devices")
+        .and_then(Json::as_arr)
+        .ok_or("fleet.offline_devices must be an array")?;
+    if listed.len() as u64 != offline {
+        return Err(format!(
+            "offline_devices lists {} devices, fleet.offline says {offline}",
+            listed.len()
+        ));
+    }
+    let rel = doc.get("reliability").ok_or("missing reliability section")?;
+    for key in ["p_loss", "p_loss_healthy"] {
+        let p = rel
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("reliability.{key} must be a number"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("reliability.{key} = {p} is not a probability"));
+        }
+    }
+    match rel.get("mttdl_hours") {
+        Some(Json::Null) | None => {}
+        Some(v) => {
+            let m = v.as_f64().ok_or("reliability.mttdl_hours must be a number or null")?;
+            if m < 0.0 {
+                return Err(format!("reliability.mttdl_hours = {m} is negative"));
+            }
+        }
+    }
+    let margins = doc.get("margins").ok_or("missing margins section")?;
+    for key in ["min_margin", "stripes_total", "stripes_at_margin_le_1", "margin_cap"] {
+        margins
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("margins.{key} must be a u64"))?;
+    }
+    let slo = doc.get("slo").ok_or("missing slo section")?;
+    let Json::Obj(entries) = slo else {
+        return Err("slo must be an object".into());
+    };
+    if entries.is_empty() {
+        return Err("slo section is empty".into());
+    }
+    for (name, entry) in entries {
+        entry
+            .get("objective")
+            .and_then(Json::as_f64)
+            .filter(|o| *o > 0.0)
+            .ok_or_else(|| format!("slo.{name}.objective must be positive"))?;
+        let windows = entry
+            .get("windows")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("slo.{name}.windows must be an array"))?;
+        for w in windows {
+            for key in ["burn_short", "burn_long", "threshold"] {
+                w.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("slo.{name} window missing {key}"))?;
+            }
+            if !matches!(w.get("firing"), Some(Json::Bool(_))) {
+                return Err(format!("slo.{name} window missing firing flag"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HealthConfig;
+    use tornado_obs::slo::BurnWindow;
+
+    fn test_config() -> HealthConfig {
+        HealthConfig {
+            trials_per_k: 200,
+            max_k: 3,
+            min_recompute_ms: 0,
+            slo_windows: vec![BurnWindow {
+                label: "fast".into(),
+                short_ms: 500,
+                long_ms: 2_000,
+                threshold: 2.0,
+            }],
+            ..HealthConfig::default()
+        }
+    }
+
+    fn store_with_objects(n_objects: usize) -> ArchivalStore {
+        let graph = tornado_gen::mirror::generate_mirror(8).unwrap();
+        let store = ArchivalStore::new(graph);
+        for i in 0..n_objects {
+            store.put(&format!("obj-{i}"), &vec![i as u8; 600]).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn healthy_document_validates_and_matches_offline_baseline() {
+        let store = store_with_objects(3);
+        let obs = ServerObserver::disabled();
+        let model = HealthModel::new(test_config());
+        let doc = model.document(&store, &obs, 1_000);
+        validate_health(&doc).unwrap();
+        let rel = doc.get("reliability").unwrap();
+        assert_eq!(
+            rel.get("p_loss").unwrap().as_f64(),
+            rel.get("p_loss_healthy").unwrap().as_f64(),
+            "healthy fleet: live == offline baseline"
+        );
+        assert_eq!(doc.get("fleet").unwrap().get("offline").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn failing_devices_raises_p_loss_and_drops_margins() {
+        let store = store_with_objects(4);
+        let obs = ServerObserver::disabled();
+        let model = HealthModel::new(test_config());
+        let healthy_doc = model.document(&store, &obs, 1_000);
+        let healthy_margin = healthy_doc
+            .get("margins")
+            .unwrap()
+            .get("min_margin")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        store.fail_device(0).unwrap();
+        // The pool epoch changed: the next document is dirty-recomputed.
+        let doc = model.document(&store, &obs, 2_000);
+        validate_health(&doc).unwrap();
+        let rel = doc.get("reliability").unwrap();
+        let p_loss = rel.get("p_loss").unwrap().as_f64().unwrap();
+        let healthy = rel.get("p_loss_healthy").unwrap().as_f64().unwrap();
+        assert!(p_loss > healthy, "conditional {p_loss} must exceed healthy {healthy}");
+        let margins = doc.get("margins").unwrap();
+        let min_margin = margins.get("min_margin").unwrap().as_u64().unwrap();
+        assert!(min_margin < healthy_margin, "margin must drop after a failure");
+        // On a mirror, one lost node leaves its partner as the single
+        // point of failure: margin 1, and every stripe is at risk.
+        assert_eq!(min_margin, 1);
+        assert_eq!(
+            margins.get("stripes_at_margin_le_1").unwrap().as_u64(),
+            margins.get("stripes_total").unwrap().as_u64(),
+        );
+    }
+
+    #[test]
+    fn conditional_p_loss_matches_offline_recomputation() {
+        // The acceptance bar: an offline analysis run with the same
+        // erasure pattern and parameters reproduces the live number.
+        let store = store_with_objects(2);
+        let obs = ServerObserver::disabled();
+        let model = HealthModel::new(test_config());
+        store.fail_device(2).unwrap();
+        let doc = model.document(&store, &obs, 500);
+        let rel = doc.get("reliability").unwrap();
+        let live = rel.get("p_loss").unwrap().as_f64().unwrap();
+        let missing: Vec<usize> = rel
+            .get("missing_nodes")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap() as usize)
+            .collect();
+        let cfg = test_config();
+        let offline = conditional_failure_probability(
+            store.graph(),
+            &missing,
+            horizon_failure_probability(cfg.afr, cfg.horizon_hours),
+            &ConditionalConfig {
+                trials_per_k: cfg.trials_per_k,
+                seed: cfg.seed,
+                max_k: cfg.max_k,
+                ..ConditionalConfig::default()
+            },
+        );
+        assert!((live - offline).abs() <= 1e-12, "live {live} vs offline {offline}");
+    }
+
+    #[test]
+    fn recompute_is_event_driven_not_per_request() {
+        let store = store_with_objects(1);
+        let obs = ServerObserver::disabled();
+        let model = HealthModel::new(HealthConfig {
+            min_recompute_ms: 1_000_000, // rate limit far beyond the test
+            ..test_config()
+        });
+        let _ = model.document(&store, &obs, 100);
+        assert_eq!(model.recomputes.get(), 1);
+        for t in 0..50 {
+            let _ = model.document(&store, &obs, 200 + t);
+            model.tick(&store, &obs, 200 + t);
+        }
+        assert_eq!(model.recomputes.get(), 1, "clean fleet: cached document serves");
+        store.fail_device(1).unwrap();
+        let _ = model.document(&store, &obs, 300);
+        assert_eq!(model.recomputes.get(), 2, "pool-epoch transition recomputes once");
+        let _ = model.document(&store, &obs, 301);
+        assert_eq!(model.recomputes.get(), 2);
+    }
+
+    #[test]
+    fn burn_rate_alert_fires_through_tick() {
+        let store = store_with_objects(1);
+        let obs = ServerObserver::disabled();
+        let model = HealthModel::new(test_config());
+        // 50% of GETs degraded against a 5% objective: burn 10 > 2.
+        for s in 0..10u64 {
+            obs.gets.add(100);
+            obs.degraded_reads.add(50);
+            model.tick(&store, &obs, s * 250);
+        }
+        assert!(model.alerts.get() >= 1, "sustained burn must fire");
+        let doc = model.document(&store, &obs, 3_000);
+        let slo = doc.get("slo").unwrap().get("degraded_reads").unwrap();
+        assert!(slo.get("alerts_total").unwrap().as_u64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_health(&Json::Obj(vec![])).is_err());
+        let store = store_with_objects(1);
+        let obs = ServerObserver::disabled();
+        let model = HealthModel::new(test_config());
+        let doc = model.document(&store, &obs, 100);
+        validate_health(&doc).unwrap();
+        // Corrupt one invariant: offline count vs list length.
+        let Json::Obj(mut fields) = doc else { panic!() };
+        for (k, v) in &mut fields {
+            if k == "fleet" {
+                if let Json::Obj(f) = v {
+                    for (fk, fv) in f.iter_mut() {
+                        if fk == "offline" {
+                            *fv = Json::U64(3);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(validate_health(&Json::Obj(fields)).is_err());
+    }
+}

@@ -27,7 +27,11 @@
 //! * [`obs`] — `tornado-obs` counters, latency histograms, JSON-lines
 //!   events, sampled request-scoped trace spans (exported as Chrome
 //!   trace-event JSON), and a time-series ring of periodic counter
-//!   samples for windowed rates.
+//!   samples for windowed rates;
+//! * [`health`] — the durability observatory: a live §5.1 reliability
+//!   model (conditional P(loss), per-stripe risk margins, MTTDL) plus
+//!   SLO burn-rate alerting, published through the HEALTH wire op as a
+//!   validated `tornado-health-v1` document.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +40,7 @@ pub mod client;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod health;
 pub mod load;
 pub mod obs;
 pub mod protocol;
@@ -43,8 +48,9 @@ pub mod queue;
 pub mod server;
 
 pub use client::Client;
-pub use config::ServerConfig;
+pub use config::{HealthConfig, ServerConfig};
 pub use error::ClientError;
+pub use health::{validate_health, HealthModel, HEALTH_SCHEMA};
 pub use load::{run_load, LoadConfig, LoadReport, OpMix, TraceExemplar};
 pub use obs::ServerObserver;
 pub use protocol::{Op, Request, Response, StatMeta};

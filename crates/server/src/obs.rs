@@ -9,7 +9,8 @@
 //! which also refreshes the embedded [`StoreObserver`]'s device-health
 //! gauges (offline devices, writes rejected while offline).
 
-use std::sync::Arc;
+use crate::health::HealthModel;
+use std::sync::{Arc, OnceLock};
 use tornado_obs::{
     Counter, EventSink, Gauge, Histogram, Json, SeriesPoint, Snapshot, TimeSeries, Tracer,
 };
@@ -83,8 +84,14 @@ pub struct ServerObserver {
     pub get_us: Histogram,
     /// Service time of everything else, microseconds.
     pub other_us: Histogram,
-    /// Device-health gauges shared with the store layer.
-    pub store_obs: StoreObserver,
+    /// Device-health gauges shared with the store layer. Behind an `Arc`
+    /// so the store itself can hold a clone and refresh the gauges on
+    /// fail/replace transitions (not only when a scrub or snapshot runs).
+    pub store_obs: Arc<StoreObserver>,
+    /// The durability observatory, installed by `serve` when
+    /// [`crate::config::HealthConfig::enabled`] is set. Engine workers
+    /// answer HEALTH from it; the sampler thread drives its SLO clock.
+    pub health: OnceLock<Arc<HealthModel>>,
 }
 
 impl ServerObserver {
@@ -120,7 +127,8 @@ impl ServerObserver {
             put_us: Histogram::new(),
             get_us: Histogram::new(),
             other_us: Histogram::new(),
-            store_obs: StoreObserver::disabled(),
+            store_obs: Arc::new(StoreObserver::disabled()),
+            health: OnceLock::new(),
         }
     }
 
@@ -197,6 +205,17 @@ impl ServerObserver {
                 ("scrub.skipped".into(), self.store_obs.stripes_skipped.get()),
                 ("scrub.verified".into(), self.store_obs.stripes_verified.get()),
                 ("scrub.decoded".into(), self.store_obs.stripes_decoded.get()),
+                // Observatory activity: alert firings and model recomputes
+                // (both zero when the observatory is disabled), so `watch`
+                // can show burn-rate trouble without a HEALTH round trip.
+                (
+                    "health.alerts".into(),
+                    self.health.get().map_or(0, |m| m.alerts.get()),
+                ),
+                (
+                    "health.recomputes".into(),
+                    self.health.get().map_or(0, |m| m.recomputes.get()),
+                ),
             ],
         });
     }
@@ -256,6 +275,13 @@ impl ServerObserver {
                 snap.histogram(name, h);
             }
         }
+        if let Some(model) = self.health.get() {
+            snap.counter("health.recomputes", &model.recomputes)
+                .counter("health.alerts", &model.alerts);
+            if model.recompute_us.count() > 0 {
+                snap.histogram("health.recompute_us", &model.recompute_us);
+            }
+        }
         self.store_obs.fill_snapshot(snap);
     }
 
@@ -269,6 +295,11 @@ impl ServerObserver {
             // Extra top-level key: tornado-metrics-v1 validators ignore
             // unknown keys, so old consumers keep parsing these snapshots.
             snap.set("timeseries", self.timeseries.to_json());
+        }
+        // The cached health document rides along the same way (never a
+        // fresh recompute on the metrics path — METRICS must stay cheap).
+        if let Some(doc) = self.health.get().and_then(|m| m.cached()) {
+            snap.set("health", doc);
         }
         self.fill_snapshot(&mut snap);
         snap

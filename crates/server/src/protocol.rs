@@ -35,6 +35,7 @@
 //! | 8      | METRICS       | —                                        |
 //! | 9      | SHUTDOWN      | —                                        |
 //! | 10     | TRACE_EXPORT  | —                                        |
+//! | 11     | HEALTH        | —                                        |
 //!
 //! A response body starts with a status byte; successful statuses are
 //! op-shaped so responses decode without request context:
@@ -47,6 +48,7 @@
 //! | 3      | OK STAT            | id u64, size u64, block_len u64, rotation u32, name_len u16, name |
 //! | 4      | OK METRICS         | JSON snapshot, UTF-8 (rest)           |
 //! | 5      | OK TRACE           | Chrome trace JSON, UTF-8 (rest)       |
+//! | 6      | OK HEALTH          | `tornado-health-v1` JSON, UTF-8 (rest)|
 //! | 16     | BUSY               | — (queue full: back off and retry)    |
 //! | 17     | NOT_FOUND          | id: u64                               |
 //! | 18     | UNRECOVERABLE      | id: u64, lost_blocks: u32             |
@@ -120,6 +122,9 @@ pub enum Op {
     Shutdown,
     /// Admin: export retained trace spans as Chrome trace-event JSON.
     TraceExport,
+    /// Durability observatory: the live `tornado-health-v1` document
+    /// (conditional P(loss), risk margins, SLO burn rates).
+    Health,
 }
 
 impl Op {
@@ -136,6 +141,7 @@ impl Op {
             Op::Metrics => "metrics",
             Op::Shutdown => "shutdown",
             Op::TraceExport => "trace_export",
+            Op::Health => "health",
         }
     }
 }
@@ -185,6 +191,11 @@ pub enum Response {
         /// Pretty-printed Chrome trace-event JSON.
         json: String,
     },
+    /// Successful HEALTH.
+    HealthOk {
+        /// Pretty-printed `tornado-health-v1` JSON.
+        json: String,
+    },
     /// The bounded request queue is full — explicit backpressure; the
     /// client should back off and retry.
     Busy,
@@ -225,7 +236,8 @@ impl Response {
             | Response::GetOk { .. }
             | Response::StatOk { .. }
             | Response::MetricsOk { .. }
-            | Response::TraceOk { .. } => "ok",
+            | Response::TraceOk { .. }
+            | Response::HealthOk { .. } => "ok",
             Response::Busy => "busy",
             Response::NotFound { .. } => "not_found",
             Response::Unrecoverable { .. } => "unrecoverable",
@@ -339,6 +351,7 @@ impl Request {
             Op::Metrics => 8,
             Op::Shutdown => 9,
             Op::TraceExport => 10,
+            Op::Health => 11,
         };
         buf.push(if self.trace_id.is_some() {
             opcode | TRACE_FLAG
@@ -357,7 +370,7 @@ impl Request {
             }
             Op::Get { id } | Op::Delete { id } | Op::Stat { id } => put_u64(&mut buf, *id),
             Op::FailDevice { device } | Op::ReviveDevice { device } => put_u32(&mut buf, *device),
-            Op::Ping | Op::Metrics | Op::Shutdown | Op::TraceExport => {}
+            Op::Ping | Op::Metrics | Op::Shutdown | Op::TraceExport | Op::Health => {}
         }
         buf
     }
@@ -392,6 +405,7 @@ impl Request {
             8 => Op::Metrics,
             9 => Op::Shutdown,
             10 => Op::TraceExport,
+            11 => Op::Health,
             other => return Err(WireError(format!("unknown opcode {other}"))),
         };
         c.finish(op.kind())?;
@@ -432,6 +446,10 @@ impl Response {
             }
             Response::TraceOk { json } => {
                 buf.push(5);
+                buf.extend_from_slice(json.as_bytes());
+            }
+            Response::HealthOk { json } => {
+                buf.push(6);
                 buf.extend_from_slice(json.as_bytes());
             }
             Response::Busy => buf.push(16),
@@ -489,6 +507,13 @@ impl Response {
                 Response::TraceOk {
                     json: String::from_utf8(rest.to_vec())
                         .map_err(|_| WireError("trace JSON is not UTF-8".into()))?,
+                }
+            }
+            6 => {
+                let rest = c.rest();
+                Response::HealthOk {
+                    json: String::from_utf8(rest.to_vec())
+                        .map_err(|_| WireError("health JSON is not UTF-8".into()))?,
                 }
             }
             16 => Response::Busy,
@@ -637,6 +662,7 @@ mod tests {
             Op::Metrics,
             Op::Shutdown,
             Op::TraceExport,
+            Op::Health,
         ] {
             round_trip_request(Request { deadline_ms: 42, trace_id: None, op });
         }
@@ -737,6 +763,7 @@ mod tests {
             },
             Response::MetricsOk { json: "{\"schema\": \"tornado-metrics-v1\"}".into() },
             Response::TraceOk { json: "{\"traceEvents\": []}".into() },
+            Response::HealthOk { json: "{\"schema\": \"tornado-health-v1\"}".into() },
             Response::Busy,
             Response::NotFound { id: 12 },
             Response::Unrecoverable { id: 12, lost_blocks: 3 },

@@ -75,6 +75,16 @@ pub fn serve(
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
+    // The store notifies the observer's device-health gauges directly on
+    // fail/replace transitions, so dashboards never read a stale gauge.
+    store.set_observer(Arc::clone(&obs.store_obs));
+    if config.health.enabled {
+        // First server wins the slot if one observer is shared (unusual);
+        // the model itself is per-config.
+        let _ = obs
+            .health
+            .set(Arc::new(crate::health::HealthModel::new(config.health.clone())));
+    }
     let engine = Engine::start(
         Arc::clone(&store),
         Arc::clone(&obs),
@@ -97,7 +107,7 @@ pub fn serve(
         thread::Builder::new()
             .name("tornado-accept".into())
             .spawn(move || {
-                accept_loop(&listener, &config, engine, &shutdown, &obs);
+                accept_loop(&listener, &config, engine, &shutdown, &obs, &store, started);
             })?
     };
 
@@ -110,6 +120,8 @@ fn accept_loop(
     engine: Engine,
     shutdown: &Arc<AtomicBool>,
     obs: &Arc<ServerObserver>,
+    store: &Arc<ArchivalStore>,
+    started: Instant,
 ) {
     let engine = Arc::new(engine);
     let active = Arc::new(AtomicI64::new(0));
@@ -121,13 +133,20 @@ fn accept_loop(
     let sampler = (config.timeseries_interval_ms > 0).then(|| {
         let shutdown = Arc::clone(shutdown);
         let obs = Arc::clone(obs);
+        let store = Arc::clone(store);
         let interval = Duration::from_millis(config.timeseries_interval_ms);
         thread::Builder::new()
             .name("tornado-timeseries".into())
             .spawn(move || {
-                let started = Instant::now();
                 while !shutdown.load(Ordering::SeqCst) {
-                    obs.sample_timeseries(started.elapsed().as_millis() as u64);
+                    let now_ms = started.elapsed().as_millis() as u64;
+                    obs.sample_timeseries(now_ms);
+                    // The sampler doubles as the observatory's clock: the
+                    // same cadence feeds SLO burn windows and triggers
+                    // (rate-limited) model recomputes on fleet changes.
+                    if let Some(model) = obs.health.get() {
+                        model.tick(&store, &obs, now_ms);
+                    }
                     // Sleep in short slices so shutdown is prompt even at
                     // long sampling intervals.
                     let mut slept = Duration::ZERO;

@@ -505,3 +505,101 @@ fn durable_store_survives_server_restart() {
     handle.join();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn health_op_reports_conditional_risk_that_matches_offline_analysis() {
+    // The observatory's acceptance bar, end to end over TCP: fail k
+    // devices, ask HEALTH, and check (a) the document validates, (b) the
+    // conditional P(loss) strictly exceeds the healthy baseline, and
+    // (c) an offline recomputation with the published parameters and
+    // erasure pattern reproduces the live number exactly.
+    let health = tornado_server::HealthConfig {
+        trials_per_k: 300,
+        max_k: 3,
+        min_recompute_ms: 0,
+        ..tornado_server::HealthConfig::default()
+    };
+    let cfg = ServerConfig {
+        workers: 2,
+        queue_depth: 16,
+        poll_interval_ms: 10,
+        timeseries_interval_ms: 20,
+        health: health.clone(),
+        ..ServerConfig::default()
+    };
+    let graph = tornado_gen::mirror::generate_mirror(12).unwrap();
+    let store = Arc::new(ArchivalStore::new(graph.clone()));
+    let obs = ServerObserver::shared();
+    let handle = serve(cfg, Arc::clone(&store), Arc::clone(&obs)).expect("bind");
+    let addr = handle.local_addr().to_string();
+
+    let mut client = Client::connect(&addr).unwrap();
+    for i in 0..5u64 {
+        let payload = load::payload_for(0xBEEF + i, 2_000 + i as usize * 311);
+        client.put(&format!("health-obj-{i}"), &payload).unwrap();
+    }
+
+    let healthy_doc = tornado_obs::json::parse(&client.health().unwrap()).unwrap();
+    tornado_server::validate_health(&healthy_doc).unwrap();
+    let healthy_rel = healthy_doc.get("reliability").unwrap();
+    let p_healthy = healthy_rel.get("p_loss").unwrap().as_f64().unwrap();
+    assert_eq!(
+        healthy_rel.get("p_loss_healthy").unwrap().as_f64(),
+        Some(p_healthy),
+        "clean fleet: live estimate IS the baseline"
+    );
+
+    for device in [1u32, 7] {
+        client.fail_device(device).unwrap();
+    }
+    let doc = tornado_obs::json::parse(&client.health().unwrap()).unwrap();
+    tornado_server::validate_health(&doc).unwrap();
+    let rel = doc.get("reliability").unwrap();
+    let p_loss = rel.get("p_loss").unwrap().as_f64().unwrap();
+    assert!(
+        p_loss > p_healthy,
+        "2 failed devices must raise P(loss): {p_loss} vs {p_healthy}"
+    );
+    assert_eq!(doc.get("fleet").unwrap().get("offline").unwrap().as_u64(), Some(2));
+
+    // Offline recomputation from the published parameters.
+    let missing: Vec<usize> = rel
+        .get("missing_nodes")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_u64().unwrap() as usize)
+        .collect();
+    assert_eq!(missing, vec![1, 7]);
+    let offline_p = tornado_analysis::health::conditional_failure_probability(
+        &graph,
+        &missing,
+        tornado_analysis::health::horizon_failure_probability(health.afr, health.horizon_hours),
+        &tornado_analysis::health::ConditionalConfig {
+            trials_per_k: health.trials_per_k,
+            seed: health.seed,
+            max_k: health.max_k,
+            ..Default::default()
+        },
+    );
+    assert!(
+        (p_loss - offline_p).abs() <= 1e-9,
+        "live {p_loss} vs offline {offline_p}: same pattern, same seed, same number"
+    );
+
+    // Margins: a mirror with both copies of some pairs intact has margin
+    // 1 once one copy is gone, and the at-risk gauge covers every stripe.
+    let margins = doc.get("margins").unwrap();
+    assert_eq!(margins.get("min_margin").unwrap().as_u64(), Some(1));
+    assert!(margins.get("stripes_at_margin_le_1").unwrap().as_u64().unwrap() >= 1);
+
+    // The cached document also rides on the METRICS snapshot.
+    let snap = tornado_obs::json::parse(&client.metrics().unwrap()).unwrap();
+    tornado_obs::snapshot::validate(&snap).unwrap();
+    let embedded = snap.get("health").expect("metrics snapshot embeds the health doc");
+    tornado_server::validate_health(embedded).unwrap();
+
+    client.shutdown().unwrap();
+    handle.join();
+}

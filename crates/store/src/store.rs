@@ -4,10 +4,12 @@ use crate::device::{Device, ReadClass};
 use crate::durable::{self, BackendKind, DurableConfig, Durability, RecoveryReport};
 use crate::error::StoreError;
 use crate::journal::{CrashInjector, JournalRecord};
+use crate::obs::StoreObserver;
 use crate::retrieval::{plan_retrieval, RepairCost};
 use parking_lot::RwLock;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use tornado_codec::{pool, xor_into, Codec, EncodedStripe, RecoveryStep};
 use tornado_graph::{Graph, NodeId};
 
@@ -105,6 +107,10 @@ pub struct ArchivalStore {
     /// sidecar paths, fsync policy, crash injector. `None` keeps the
     /// volatile in-memory store on the exact pre-persistence code path.
     durability: Option<Durability>,
+    /// Attached by the serving layer: device gauges are refreshed on the
+    /// fail/replace transitions themselves, so a health scrape between
+    /// scrub cycles never sees a stale fleet.
+    observer: RwLock<Option<Arc<StoreObserver>>>,
 }
 
 impl ArchivalStore {
@@ -144,6 +150,21 @@ impl ArchivalStore {
             generation_counter: AtomicU64::new(0),
             pool_epoch: AtomicU64::new(0),
             durability,
+            observer: RwLock::new(None),
+        }
+    }
+
+    /// Attaches a [`StoreObserver`] whose device gauges are refreshed on
+    /// every fail/replace transition (not just on scrub cycles).
+    pub fn set_observer(&self, obs: Arc<StoreObserver>) {
+        *self.observer.write() = Some(obs);
+    }
+
+    /// Refreshes the attached observer's device gauges, if any.
+    fn notify_device_health(&self) {
+        let obs = self.observer.read().clone();
+        if let Some(obs) = obs {
+            obs.record_device_health(self);
         }
     }
 
@@ -190,6 +211,7 @@ impl ArchivalStore {
     pub fn fail_device(&self, index: usize) -> Result<(), StoreError> {
         self.device(index)?.fail();
         self.pool_epoch.fetch_add(1, Ordering::Release);
+        self.notify_device_health();
         Ok(())
     }
 
@@ -217,6 +239,7 @@ impl ArchivalStore {
             device.replace();
         }
         self.pool_epoch.fetch_add(1, Ordering::Release);
+        self.notify_device_health();
         Ok(())
     }
 
@@ -620,6 +643,20 @@ mod tests {
             store.get(42),
             Err(StoreError::UnknownObject { id: 42 })
         ));
+    }
+
+    #[test]
+    fn attached_observer_sees_transitions_without_a_scrub() {
+        let store = ArchivalStore::new(small_graph());
+        let obs = Arc::new(StoreObserver::disabled());
+        store.set_observer(Arc::clone(&obs));
+        store.fail_device(1).unwrap();
+        store.fail_device(3).unwrap();
+        // The gauges refreshed on the transition itself — no scrub cycle,
+        // no metrics snapshot in between.
+        assert_eq!(obs.devices_offline.get(), 2);
+        store.replace_device(1).unwrap();
+        assert_eq!(obs.devices_offline.get(), 1);
     }
 
     #[test]
