@@ -44,6 +44,7 @@ fn main() {
         ("Size sweep (Plank regime)", exp::size_sweep::run),
         ("Federated failure profiles", exp::fed_profile::run),
         ("Serving-layer load test", exp::load_test::run),
+        ("Event-loop connection scaling", exp::server_scale::run),
         ("Data-plane kernels", exp::data_plane::run),
         ("Checksum-gated scrub tiers", exp::data_plane::run_scrub_modes),
         ("Repair-bandwidth bake-off", exp::repair_bandwidth::run),
@@ -114,6 +115,21 @@ fn main() {
                 ("ops_per_sec_health_on".into(), Json::F64(s.ops_per_sec_health_on)),
                 ("health_recomputes".into(), Json::U64(s.health_recomputes)),
                 ("health_compute_frac".into(), Json::F64(s.health_compute_frac)),
+            ]),
+        ));
+    }
+    // Likewise the connection-scaling run: its sweep shape and A/B ratio
+    // are the reviewable outcome.
+    if let Some(s) = *exp::server_scale::LAST_SUMMARY.lock().unwrap() {
+        manifest_fields.push((
+            "server_scale".into(),
+            Json::Obj(vec![
+                ("max_connections".into(), Json::U64(s.max_connections as u64)),
+                ("p99_at_max_us".into(), Json::U64(s.p99_at_max_us)),
+                ("ops_per_sec_at_max".into(), Json::F64(s.rate_at_max)),
+                ("ab_event_loop_ops_per_sec".into(), Json::F64(s.ops_per_sec_event_loop)),
+                ("ab_threaded_ops_per_sec".into(), Json::F64(s.ops_per_sec_threaded)),
+                ("ab_ratio".into(), Json::F64(s.ab_ratio)),
             ]),
         ));
     }

@@ -15,6 +15,7 @@ pub mod recovery;
 pub mod repair_bandwidth;
 pub mod retrieval;
 pub mod scrub_sweep;
+pub mod server_scale;
 pub mod size_sweep;
 pub mod table5;
 pub mod table6;

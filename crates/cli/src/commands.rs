@@ -564,6 +564,9 @@ pub fn serve(args: &ParsedArgs) -> CmdResult {
     let trace_slow_keep: usize = args.get_parsed("trace-slow-keep", 16)?;
     let slow_ms: u64 = args.get_parsed("slow-ms", 0)?;
     let timeseries_interval_ms: u64 = args.get_parsed("timeseries-ms", 500)?;
+    let shards: usize = args.get_parsed("shards", 2)?;
+    let max_inflight: usize = args.get_parsed("max-inflight", 64)?;
+    let event_loop = !args.flag("thread-per-conn");
     let health = health_config_from_args(args)?;
     let (graph, label) = if args.get("graph").is_some() || args.get("catalog").is_some() {
         load_target_graph(args)?
@@ -648,6 +651,9 @@ pub fn serve(args: &ParsedArgs) -> CmdResult {
         trace_slow_keep,
         slow_request_us: slow_ms.saturating_mul(1_000),
         timeseries_interval_ms,
+        event_loop,
+        shards,
+        max_inflight_per_conn: max_inflight,
         health,
         ..tornado_server::ServerConfig::default()
     };
@@ -662,6 +668,11 @@ pub fn serve(args: &ParsedArgs) -> CmdResult {
             ("backend", Json::Str(store.backend_kind().to_string())),
             ("workers", Json::U64(workers as u64)),
             ("queue_depth", Json::U64(queue_depth as u64)),
+            (
+                "mode",
+                Json::Str(if event_loop { "event_loop".into() } else { "threads".into() }),
+            ),
+            ("shards", Json::U64(if event_loop { shards as u64 } else { 0 })),
         ],
     );
 
@@ -674,8 +685,24 @@ pub fn serve(args: &ParsedArgs) -> CmdResult {
         std::fs::rename(&tmp, port_file).map_err(|e| format!("{port_file}: {e}"))?;
     }
 
-    // Serve until a SHUTDOWN op drains the server.
+    // Serve until a SHUTDOWN op drains the server — or, on unix, until
+    // SIGTERM: the reactor latches the signal into a flag (the handler
+    // itself only stores an atomic), and this supervising loop turns it
+    // into the same graceful drain the wire op triggers.
     let started = std::time::Instant::now();
+    #[cfg(unix)]
+    {
+        let sigterm = tornado_server::reactor::install_sigterm_flag();
+        while !handle.is_shutting_down()
+            && !sigterm.load(std::sync::atomic::Ordering::SeqCst)
+        {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        if sigterm.load(std::sync::atomic::Ordering::SeqCst) {
+            obs.status("serve_sigterm", &[]);
+        }
+        handle.shutdown();
+    }
     handle.join();
     // After the drain every in-flight root span is recorded, so the
     // export written here is complete and well-nested by construction.
@@ -731,9 +758,21 @@ pub fn load(args: &ParsedArgs) -> CmdResult {
         deadline_ms: args.get_parsed("deadline-ms", 0)?,
         trace_sample: args.get_parsed("trace-sample", 256)?,
         op_limit: args.get_parsed("op-limit", 0)?,
+        pipeline_depth: args.get_parsed("pipeline", 1)?,
+        rate_ops_per_sec: args.get_parsed("rate", 0.0)?,
     };
 
     let report = tornado_server::run_load(&cfg).map_err(|e| format!("load: {e}"))?;
+    if cfg.pipeline_depth > 1 || cfg.rate_ops_per_sec > 0.0 {
+        let loop_kind =
+            if cfg.rate_ops_per_sec > 0.0 { "open loop".to_string() } else { "closed loop".into() };
+        let rate = if cfg.rate_ops_per_sec > 0.0 {
+            format!(", target rate {:.0}/s", cfg.rate_ops_per_sec)
+        } else {
+            String::new()
+        };
+        println!("discipline: {loop_kind}, pipeline depth {}{rate}", cfg.pipeline_depth.max(1));
+    }
     println!(
         "ops: {} in {} ms ({:.0} ops/s)",
         report.ops, report.elapsed_ms, report.ops_per_sec
@@ -842,8 +881,8 @@ pub fn watch(args: &ParsedArgs) -> CmdResult {
     let mut client =
         tornado_server::Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
 
-    println!("{:>10} {:>9} {:>9} {:>9} {:>9} {:>11} {:>11} {:>10} {:>12}",
-        "req/s", "put/s", "get/s", "busy/s", "degr/s", "MB out/s", "rep MB/s", "scrub/s", "window req/s");
+    println!("{:>10} {:>9} {:>9} {:>9} {:>9} {:>11} {:>11} {:>10} {:>7} {:>8} {:>12}",
+        "req/s", "put/s", "get/s", "busy/s", "degr/s", "MB out/s", "rep MB/s", "scrub/s", "conns", "inflight", "window req/s");
     let mut tick = 0u64;
     loop {
         tick += 1;
@@ -856,6 +895,17 @@ pub fn watch(args: &ParsedArgs) -> CmdResult {
         if points.len() < 2 {
             println!("(waiting for the server's sampler: {} point(s) so far)", points.len());
         } else {
+            // Event-loop occupancy is a point-in-time gauge, not a
+            // cumulative counter: show the latest sample raw, never as a
+            // rate.
+            let latest = |k: &str| {
+                points
+                    .last()
+                    .and_then(|p| p.values.iter().find(|(name, _)| name == k))
+                    .map_or(0, |(_, v)| *v)
+            };
+            let conns = latest("server.loop.connections");
+            let inflight = latest("server.loop.inflight");
             // Rebuild the ring client-side so the same windowed-rate code
             // serves the live view and the server.
             let series = tornado_obs::TimeSeries::new(points.len().max(2));
@@ -869,7 +919,7 @@ pub fn watch(args: &ParsedArgs) -> CmdResult {
             let scrub_rate =
                 rate("scrub.skipped") + rate("scrub.verified") + rate("scrub.decoded");
             println!(
-                "{:>10.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>11.2} {:>11.2} {:>10.1} {:>12.1}",
+                "{:>10.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>11.2} {:>11.2} {:>10.1} {:>7} {:>8} {:>12.1}",
                 rate("server.requests"),
                 rate("server.put"),
                 rate("server.get"),
@@ -880,6 +930,8 @@ pub fn watch(args: &ParsedArgs) -> CmdResult {
                 // plus scrub decode-tier reads, per second.
                 rate("repair.bytes_read") / (1024.0 * 1024.0),
                 scrub_rate,
+                conns,
+                inflight,
                 series.window_rate("server.requests").unwrap_or(0.0),
             );
         }

@@ -47,6 +47,9 @@ COMMANDS:
     workload     Synthetic archival workload replay  [--seed N] [--objects 20] [--reads 100]
     serve        TCP archival block service          [--addr 127.0.0.1:7401] [--workers 4]
                                                      [--queue-depth 64] [--deadline-ms 0]
+                                                     [--shards 2] [--max-inflight 64]
+                                                     [--thread-per-conn] (legacy
+                                                     thread-per-connection serving)
                                                      [--catalog 1|2|3 | --graph FILE]
                                                      [--data-dir DIR [--backend file|segment]
                                                      [--no-fsync]] (durable store with
@@ -73,6 +76,11 @@ COMMANDS:
                                                      [--fail DEV]... [--fail-after-ms 300]
                                                      [--metrics FILE] [--shutdown]
                                                      [--trace-sample 256] [--op-limit N]
+                                                     [--pipeline N] (N requests in flight
+                                                     per connection, matched by corr id)
+                                                     [--rate OPS_PER_SEC] (open-loop mode:
+                                                     fixed arrival rate, queue-wait counted
+                                                     in latency)
     watch        Live windowed rates from a server    --addr ADDR [--interval-ms 1000]
                                                      [--count N]
     health       Durability observatory snapshot      --addr ADDR [--json | --prometheus]

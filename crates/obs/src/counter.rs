@@ -109,6 +109,12 @@ impl Gauge {
         self.value.load(Relaxed) as i64
     }
 
+    /// Adjusts the gauge by `delta` (negative to decrement) — for
+    /// point-in-time occupancy counts maintained by inc/dec pairs.
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta as u64, Relaxed);
+    }
+
     /// Raises the gauge to `v` if larger (monotone high-water mark).
     pub fn raise(&self, v: i64) {
         let mut cur = self.value.load(Relaxed);

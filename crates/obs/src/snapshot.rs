@@ -62,6 +62,13 @@ impl Snapshot {
         self
     }
 
+    /// Records a raw integer gauge value (for values derived at snapshot
+    /// time rather than held in a `Gauge` cell).
+    pub fn gauge_value(&mut self, name: &str, v: i64) -> &mut Self {
+        self.gauges.push((name.into(), Json::I64(v)));
+        self
+    }
+
     /// Records a floating-point gauge.
     pub fn float_gauge(&mut self, name: &str, g: &FloatGauge) -> &mut Self {
         self.gauges.push((name.into(), Json::F64(g.get())));

@@ -1,10 +1,13 @@
-//! Blocking client for the archival block service.
+//! Blocking clients for the archival block service.
 //!
 //! One [`Client`] wraps one TCP connection and runs one request at a time
-//! (the protocol is strictly request/response per connection — open more
-//! clients for concurrency). Error statuses come back as typed
-//! [`ClientError`] variants so callers can distinguish backpressure
-//! ([`ClientError::Busy`] — back off and retry) from real failures.
+//! (strictly request/response — the legacy wire discipline, byte-identical
+//! to pre-correlation servers). A [`PipelinedClient`] keeps several
+//! requests in flight on one connection: every request carries a
+//! correlation id and responses are matched back as they arrive, in any
+//! order. Error statuses come back as typed [`ClientError`] variants so
+//! callers can distinguish backpressure ([`ClientError::Busy`] — back off
+//! and retry) from real failures.
 
 use crate::error::ClientError;
 use crate::protocol::{read_frame, write_frame, FrameRead, Op, Request, Response, StatMeta};
@@ -51,7 +54,7 @@ impl Client {
 
     /// Sends one request and reads its response frame.
     pub fn roundtrip(&mut self, op: Op) -> Result<Response, ClientError> {
-        let req = Request { deadline_ms: self.deadline_ms, trace_id: self.trace_id, op };
+        let req = Request { deadline_ms: self.deadline_ms, corr_id: None, trace_id: self.trace_id, op };
         write_frame(&mut self.stream, &req.encode())?;
         match read_frame(&mut self.stream)? {
             FrameRead::Frame(body) => Ok(Response::decode(&body)?),
@@ -155,6 +158,116 @@ impl Client {
             Response::Ok => Ok(()),
             other => Err(error_from(other, "SHUTDOWN")),
         }
+    }
+}
+
+/// A pipelined connection: issue up to many requests before reading any
+/// response, then match completions by correlation id.
+///
+/// Requires a server that understands the v2 request header (PR 10+);
+/// older servers reject the flagged opcode byte loudly rather than
+/// misparsing it. For old servers, use [`Client`].
+pub struct PipelinedClient {
+    stream: TcpStream,
+    /// Deadline stamped on every request (milliseconds; 0 = none).
+    deadline_ms: u32,
+    /// Trace id stamped on every request (`None` = untraced).
+    trace_id: Option<u64>,
+    /// Next correlation id to assign (wraps; in-flight windows are far
+    /// smaller than 2³²).
+    next_corr: u32,
+    /// Requests submitted and not yet received.
+    inflight: usize,
+}
+
+impl PipelinedClient {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, deadline_ms: 0, trace_id: None, next_corr: 0, inflight: 0 })
+    }
+
+    /// Connects with a bounded connection attempt.
+    pub fn connect_timeout(
+        addr: &std::net::SocketAddr,
+        timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, deadline_ms: 0, trace_id: None, next_corr: 0, inflight: 0 })
+    }
+
+    /// Sets the per-request deadline stamped on subsequent requests
+    /// (0 clears it).
+    pub fn set_deadline_ms(&mut self, deadline_ms: u32) {
+        self.deadline_ms = deadline_ms;
+    }
+
+    /// Sets the trace id stamped on subsequent requests.
+    pub fn set_trace_id(&mut self, trace_id: Option<u64>) {
+        self.trace_id = trace_id;
+    }
+
+    /// Requests submitted and not yet matched to a response.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// Sends one request without waiting, returning the correlation id its
+    /// response will carry.
+    pub fn submit(&mut self, op: Op) -> Result<u32, ClientError> {
+        let corr = self.next_corr;
+        self.next_corr = self.next_corr.wrapping_add(1);
+        let req = Request {
+            deadline_ms: self.deadline_ms,
+            corr_id: Some(corr),
+            trace_id: self.trace_id,
+            op,
+        };
+        write_frame(&mut self.stream, &req.encode())?;
+        self.inflight += 1;
+        Ok(corr)
+    }
+
+    /// Reads the next response frame — whichever in-flight request
+    /// finished first — as `(correlation id, response)`.
+    pub fn recv(&mut self) -> Result<(u32, Response), ClientError> {
+        match read_frame(&mut self.stream)? {
+            FrameRead::Frame(body) => {
+                let (corr, resp) = Response::decode_corr(&body)?;
+                let corr = corr.ok_or_else(|| {
+                    ClientError::Unexpected(
+                        "server answered a pipelined request without a correlation id".into(),
+                    )
+                })?;
+                self.inflight = self.inflight.saturating_sub(1);
+                Ok((corr, resp))
+            }
+            FrameRead::Eof => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection with requests in flight",
+            ))),
+            FrameRead::TimedOut => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "timed out waiting for a pipelined response",
+            ))),
+        }
+    }
+
+    /// Sends one request and waits for its specific response (correlation
+    /// ids still matched, so stray completions from earlier fire-and-forget
+    /// submits are surfaced as errors rather than misattributed).
+    pub fn roundtrip(&mut self, op: Op) -> Result<Response, ClientError> {
+        let want = self.submit(op)?;
+        let (corr, resp) = self.recv()?;
+        if corr != want {
+            return Err(ClientError::Unexpected(format!(
+                "response corr {corr} does not match request corr {want} \
+                 (interleaved with unread completions?)"
+            )));
+        }
+        Ok(resp)
     }
 }
 

@@ -91,6 +91,17 @@ pub struct ServerConfig {
     /// Interval between time-series counter samples in milliseconds;
     /// 0 disables the sampler thread.
     pub timeseries_interval_ms: u64,
+    /// Serve connections through the nonblocking event loop (epoll/poll
+    /// readiness shards) instead of one thread per connection. Ignored on
+    /// non-unix targets, which always use the threaded path.
+    pub event_loop: bool,
+    /// Event-loop shards (each one thread owning a slab of connections).
+    pub shards: usize,
+    /// Per-connection cap on pipelined (correlated) requests in flight;
+    /// past it the shard stops extracting frames until completions free
+    /// capacity. One-at-a-time clients are capped at 1 by the protocol's
+    /// ordering rule regardless of this value.
+    pub max_inflight_per_conn: usize,
     /// Durability-observatory settings (live P(loss), margins, SLOs).
     pub health: HealthConfig,
 }
@@ -108,6 +119,9 @@ impl Default for ServerConfig {
             trace_slow_keep: 16,
             slow_request_us: 0,
             timeseries_interval_ms: 500,
+            event_loop: true,
+            shards: 2,
+            max_inflight_per_conn: 64,
             health: HealthConfig::default(),
         }
     }
@@ -127,6 +141,9 @@ mod tests {
         assert_eq!(c.trace_sample, 0, "tracing is opt-in");
         assert!(c.trace_capacity >= 1);
         assert!(c.timeseries_interval_ms >= 1);
+        assert!(c.event_loop, "the event loop is the default serving path");
+        assert!(c.shards >= 1);
+        assert!(c.max_inflight_per_conn >= 1);
         let h = &c.health;
         assert!(h.enabled, "the observatory is on by default");
         assert!(h.afr > 0.0 && h.afr < 1.0);

@@ -34,12 +34,51 @@ pub(crate) struct JobTrace {
     pub accepted_us: u64,
 }
 
+/// Where a finished response goes: back to a blocking connection-handler
+/// thread (thread-per-connection path) or into an event-loop shard's
+/// completion mailbox (matched to its connection by slot/generation, and
+/// to its request by correlation id).
+pub(crate) enum Reply {
+    /// A blocking handler waiting on an mpsc channel.
+    Channel(mpsc::Sender<Response>),
+    /// An event-loop shard: push into its mailbox and kick its waker.
+    #[cfg(unix)]
+    Shard {
+        /// The owning shard's completion mailbox.
+        mailbox: Arc<crate::shard::ShardMailbox>,
+        /// Connection slot within the shard.
+        slot: usize,
+        /// Slot generation at dispatch time (stale completions for a
+        /// reused slot are dropped by the shard).
+        gen: u64,
+        /// Correlation id from the request header (None for one-at-a-time
+        /// clients — the shard holds frame extraction until it answers).
+        corr: Option<u32>,
+    },
+}
+
+impl Reply {
+    /// Delivers the response. A dead receiver (hung-up connection) is not
+    /// an error; the work itself already happened.
+    pub fn send(self, response: Response) {
+        match self {
+            Reply::Channel(tx) => {
+                let _ = tx.send(response);
+            }
+            #[cfg(unix)]
+            Reply::Shard { mailbox, slot, gen, corr } => {
+                mailbox.complete(slot, gen, corr, response);
+            }
+        }
+    }
+}
+
 /// One queued request plus everything needed to answer it.
 pub(crate) struct Job {
     /// The decoded request.
     pub request: Request,
-    /// Where the connection handler waits for the answer.
-    pub reply: mpsc::Sender<Response>,
+    /// Where the answer goes.
+    pub reply: Reply,
     /// When the server accepted the request (queue-wait measurement).
     pub accepted_at: Instant,
     /// Absolute deadline, if the request (or server default) set one.
@@ -200,9 +239,7 @@ fn worker_loop(
                 ],
             );
         }
-        // A dead reply channel means the connection hung up; drop the
-        // response, the work itself (e.g. a PUT) already happened.
-        let _ = job.reply.send(response);
+        job.reply.send(response);
     }
 }
 
@@ -493,8 +530,8 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         engine
             .submit(Job {
-                request: Request { deadline_ms: 0, trace_id: None, op },
-                reply: tx,
+                request: Request { deadline_ms: 0, corr_id: None, trace_id: None, op },
+                reply: Reply::Channel(tx),
                 accepted_at: Instant::now(),
                 deadline: None,
                 trace: None,
@@ -539,10 +576,11 @@ mod tests {
             .submit(Job {
                 request: Request {
                     deadline_ms: 1,
+                    corr_id: None,
                     trace_id: None,
                     op: Op::Put { name: "late".into(), payload: vec![1; 64] },
                 },
-                reply: tx,
+                reply: Reply::Channel(tx),
                 accepted_at: Instant::now() - std::time::Duration::from_millis(50),
                 deadline: Some(Instant::now() - std::time::Duration::from_millis(10)),
                 trace: None,
@@ -625,10 +663,11 @@ mod tests {
             .submit(Job {
                 request: Request {
                     deadline_ms: 0,
+                    corr_id: None,
                     trace_id: Some(trace_id),
                     op: Op::Get { id },
                 },
-                reply: tx,
+                reply: Reply::Channel(tx),
                 accepted_at: Instant::now(),
                 deadline: None,
                 trace: Some(JobTrace { trace_id, root_span, accepted_us }),

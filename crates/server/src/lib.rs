@@ -33,7 +33,10 @@
 //!   SLO burn-rate alerting, published through the HEALTH wire op as a
 //!   validated `tornado-health-v1` document.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the readiness reactor is the one sanctioned
+// exception (raw epoll/poll FFI behind `#[allow(unsafe_code)]` with
+// documented invariants); everything else stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
@@ -45,9 +48,13 @@ pub mod load;
 pub mod obs;
 pub mod protocol;
 pub mod queue;
+#[cfg(unix)]
+pub mod reactor;
 pub mod server;
+#[cfg(unix)]
+pub mod shard;
 
-pub use client::Client;
+pub use client::{Client, PipelinedClient};
 pub use config::{HealthConfig, ServerConfig};
 pub use error::ClientError;
 pub use health::{validate_health, HealthModel, HEALTH_SCHEMA};

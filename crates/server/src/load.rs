@@ -1,10 +1,25 @@
-//! Closed-loop load generator for the archival block service.
+//! Load generators for the archival block service.
 //!
 //! [`run_load`] opens `connections` client connections, each driven by its
-//! own worker thread in a closed loop: pick the next operation from the
-//! seeded weighted mix, run it, record the latency, repeat until the clock
-//! runs out. Object popularity is zipfian — earlier objects are hotter —
-//! so GETs concentrate on a warm set the way archival read traffic does.
+//! own worker thread: pick the next operation from the seeded weighted
+//! mix, run it, record the latency, repeat until the clock runs out.
+//! Object popularity is zipfian — earlier objects are hotter — so GETs
+//! concentrate on a warm set the way archival read traffic does. Three
+//! orthogonal knobs change the discipline:
+//!
+//! * `pipeline_depth` > 1 switches a worker from the serial
+//!   request/response [`Client`] to a [`PipelinedClient`] that keeps up
+//!   to that many requests in flight, matching completions by
+//!   correlation id in whatever order the server finishes them;
+//! * `rate_ops_per_sec` > 0 switches from closed-loop (issue as fast as
+//!   responses come back) to open-loop: arrivals follow a fixed schedule
+//!   and latency is measured from the *scheduled* time, so server
+//!   backlog shows up as queueing delay instead of quietly throttling
+//!   the arrival stream (the coordinated-omission correction);
+//! * [`mux::run_mux`] (unix) drives thousands of connections from one
+//!   thread over the readiness reactor — the connection-count scaling
+//!   harness, where thread-per-connection driving would perturb the
+//!   measurement more than the server under test.
 //!
 //! Determinism: every random choice (op, object, payload size, payload
 //! bytes) derives from `LoadConfig::seed`, so two runs with the same seed
@@ -19,10 +34,12 @@
 //! hammering the server — exercising the transparently-degraded read path
 //! under concurrency.
 
-use crate::client::Client;
+use crate::client::{Client, PipelinedClient};
 use crate::error::ClientError;
+use crate::protocol::{Op, Response};
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -88,6 +105,18 @@ pub struct LoadConfig {
     /// op stream — and therefore the sampled trace-id set — an exact
     /// function of `seed`, independent of server worker count.
     pub op_limit: u64,
+    /// Requests each worker keeps in flight on its connection. 1 (or 0)
+    /// is the legacy serial discipline over [`Client`]; greater depths
+    /// switch to [`PipelinedClient`], matching completions by
+    /// correlation id — requires a v2-header server (PR 10+).
+    pub pipeline_depth: usize,
+    /// Open-loop arrival rate, operations per second across the whole
+    /// run (0 = closed loop). Each worker paces at `rate / connections`
+    /// and latency is measured from the *scheduled* send time, so a
+    /// server that falls behind accrues queueing delay in the histogram
+    /// instead of silently slowing the arrival stream
+    /// (coordinated-omission corrected).
+    pub rate_ops_per_sec: f64,
 }
 
 impl Default for LoadConfig {
@@ -108,6 +137,8 @@ impl Default for LoadConfig {
             deadline_ms: 0,
             trace_sample: 256,
             op_limit: 0,
+            pipeline_depth: 1,
+            rate_ops_per_sec: 0.0,
         }
     }
 }
@@ -362,7 +393,13 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
             .map(|worker| {
                 let cfg = cfg.clone();
                 let seq = Arc::clone(&seq);
-                s.spawn(move || worker_loop(&cfg, worker as u64, stop_at, &seq))
+                s.spawn(move || {
+                    if cfg.pipeline_depth > 1 {
+                        worker_loop_pipelined(&cfg, worker as u64, stop_at, &seq)
+                    } else {
+                        worker_loop(&cfg, worker as u64, stop_at, &seq)
+                    }
+                })
             })
             .collect();
 
@@ -453,13 +490,36 @@ fn worker_loop(cfg: &LoadConfig, worker: u64, stop_at: Instant, seq: &AtomicU64)
 
     for _ in 0..cfg.prefill {
         let tid = next_trace_id(cfg, &mut rng, &mut client);
-        do_put(cfg, &mut client, &mut rng, &mut table, seq, &mut tally, tid);
+        do_put(cfg, &mut client, &mut rng, &mut table, seq, &mut tally, tid, None);
     }
+
+    // Open-loop pacing: one worker owns a 1/connections slice of the
+    // aggregate rate, and each operation's latency clock starts at its
+    // *scheduled* arrival, not when the (possibly backlogged) worker got
+    // around to sending it.
+    let interval = per_worker_interval(cfg);
+    let open_start = Instant::now();
+    let mut issued: u64 = 0;
 
     let measured_start = tally.ops;
     while Instant::now() < stop_at
         && (cfg.op_limit == 0 || tally.ops - measured_start < cfg.op_limit)
     {
+        let sched = match interval {
+            Some(iv) => {
+                let due = open_start + Duration::from_secs_f64(issued as f64 * iv.as_secs_f64());
+                if due >= stop_at {
+                    break;
+                }
+                let now = Instant::now();
+                if due > now {
+                    thread::sleep(due - now);
+                }
+                Some(due)
+            }
+            None => None,
+        };
+        issued += 1;
         // The trace id is drawn from the same seeded stream as the op
         // choice, so the id sequence — and the sampled subset — is an
         // exact function of (seed, worker index).
@@ -467,14 +527,26 @@ fn worker_loop(cfg: &LoadConfig, worker: u64, stop_at: Instant, seq: &AtomicU64)
         let total = cfg.mix.put + cfg.mix.get + cfg.mix.delete;
         let pick = if total == 0 { 0 } else { rng.gen_range(0..total) };
         if pick < cfg.mix.put || table.len() == 0 {
-            do_put(cfg, &mut client, &mut rng, &mut table, seq, &mut tally, tid);
+            do_put(cfg, &mut client, &mut rng, &mut table, seq, &mut tally, tid, sched);
         } else if pick < cfg.mix.put + cfg.mix.get {
-            do_get(cfg, &mut client, &mut rng, &mut table, &mut tally, tid);
+            do_get(cfg, &mut client, &mut rng, &mut table, &mut tally, tid, sched);
         } else {
-            do_delete(cfg, &mut client, &mut rng, &mut table, &mut tally, tid);
+            do_delete(cfg, &mut client, &mut rng, &mut table, &mut tally, tid, sched);
         }
     }
     tally
+}
+
+/// The per-worker arrival interval for open-loop runs (`None` = closed
+/// loop).
+fn per_worker_interval(cfg: &LoadConfig) -> Option<Duration> {
+    if cfg.rate_ops_per_sec > 0.0 {
+        Some(Duration::from_secs_f64(
+            cfg.connections.max(1) as f64 / cfg.rate_ops_per_sec,
+        ))
+    } else {
+        None
+    }
 }
 
 /// Draws the next logical operation's trace id and stamps it on the
@@ -490,6 +562,7 @@ fn next_trace_id(cfg: &LoadConfig, rng: &mut SmallRng, client: &mut Client) -> O
     Some(tid)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn do_put(
     cfg: &LoadConfig,
     client: &mut Client,
@@ -498,6 +571,7 @@ fn do_put(
     seq: &AtomicU64,
     tally: &mut WorkerTally,
     trace_id: Option<u64>,
+    sched: Option<Instant>,
 ) {
     let len = if cfg.payload_max > cfg.payload_min {
         rng.gen_range(cfg.payload_min..=cfg.payload_max)
@@ -510,7 +584,9 @@ fn do_put(
     // payload bytes stay a pure function of obj_seed.
     let name = format!("load-{}", seq.fetch_add(1, Ordering::Relaxed));
     loop {
-        let t = Instant::now();
+        // Open loop: the clock starts at the scheduled arrival and keeps
+        // running across busy retries — backlog is the user's latency.
+        let t = sched.unwrap_or_else(Instant::now);
         match client.put(&name, &payload) {
             Ok(id) => {
                 tally.complete(cfg, trace_id, "put", t.elapsed().as_micros() as u64);
@@ -536,6 +612,7 @@ fn do_get(
     table: &mut ZipfTable,
     tally: &mut WorkerTally,
     trace_id: Option<u64>,
+    sched: Option<Instant>,
 ) {
     let i = table.sample(rng);
     let (id, seed, len) = {
@@ -543,7 +620,7 @@ fn do_get(
         (e.id, e.seed, e.len)
     };
     loop {
-        let t = Instant::now();
+        let t = sched.unwrap_or_else(Instant::now);
         match client.get(id) {
             Ok(payload) => {
                 tally.complete(cfg, trace_id, "get", t.elapsed().as_micros() as u64);
@@ -575,11 +652,12 @@ fn do_delete(
     table: &mut ZipfTable,
     tally: &mut WorkerTally,
     trace_id: Option<u64>,
+    sched: Option<Instant>,
 ) {
     let i = table.sample(rng);
     let e = table.remove(i);
     loop {
-        let t = Instant::now();
+        let t = sched.unwrap_or_else(Instant::now);
         match client.delete(e.id) {
             Ok(()) => {
                 tally.complete(cfg, trace_id, "delete", t.elapsed().as_micros() as u64);
@@ -594,6 +672,681 @@ fn do_delete(
                 return;
             }
         }
+    }
+}
+
+/// What one in-flight pipelined request was, in enough detail to verify
+/// its completion — or resubmit it verbatim after a BUSY.
+enum PendingKind {
+    /// `obj_seed`/`len` regenerate the payload on retry (and are what
+    /// the table learns on PutOk), so no payload bytes are retained.
+    Put { name: String, obj_seed: u64, len: usize },
+    Get { obj_id: u64, obj_seed: u64, len: usize },
+    Delete { obj_id: u64 },
+}
+
+/// One submitted-but-unanswered pipelined request.
+struct PendingOp {
+    kind: PendingKind,
+    trace_id: Option<u64>,
+    /// Latency origin: the scheduled arrival (open loop) or the submit
+    /// instant (closed loop). Survives busy-resubmits unchanged.
+    sched: Instant,
+}
+
+/// Mutable state of one pipelined worker, so submit/receive logic can be
+/// factored into methods instead of functions with ten parameters.
+struct PipelinedWorker<'a> {
+    cfg: &'a LoadConfig,
+    client: PipelinedClient,
+    rng: SmallRng,
+    table: ZipfTable,
+    /// In-flight requests by correlation id.
+    pending: HashMap<u32, PendingOp>,
+    /// Objects with in-flight GETs, by object id — a DELETE of such an
+    /// object is deferred (its out-of-order completion could otherwise
+    /// race the reads and turn verified GETs into NotFounds).
+    inflight_gets: HashMap<u64, u32>,
+    tally: WorkerTally,
+    seq: &'a AtomicU64,
+}
+
+impl PipelinedWorker<'_> {
+    /// Draws the next op from the weighted mix. DELETE of an object with
+    /// reads still in flight degrades to a GET of that object.
+    fn pick_kind(&mut self) -> PendingKind {
+        let total = self.cfg.mix.put + self.cfg.mix.get + self.cfg.mix.delete;
+        let pick = if total == 0 { 0 } else { self.rng.gen_range(0..total) };
+        if pick < self.cfg.mix.put || self.table.len() == 0 {
+            let len = if self.cfg.payload_max > self.cfg.payload_min {
+                self.rng.gen_range(self.cfg.payload_min..=self.cfg.payload_max)
+            } else {
+                self.cfg.payload_min.max(1)
+            };
+            let obj_seed = self.rng.next_u64();
+            let name = format!("load-{}", self.seq.fetch_add(1, Ordering::Relaxed));
+            return PendingKind::Put { name, obj_seed, len: len.max(1) };
+        }
+        let i = self.table.sample(&mut self.rng);
+        if pick < self.cfg.mix.put + self.cfg.mix.get
+            || self.inflight_gets.get(&self.table.entries[i].id).copied().unwrap_or(0) > 0
+        {
+            let e = &self.table.entries[i];
+            PendingKind::Get { obj_id: e.id, obj_seed: e.seed, len: e.len }
+        } else {
+            // Removing at submit time keeps later picks off this object.
+            let e = self.table.remove(i);
+            PendingKind::Delete { obj_id: e.id }
+        }
+    }
+
+    /// Submits `kind`, registering it in the pending window. Returns
+    /// `false` when the connection is unusable.
+    fn submit_kind(&mut self, kind: PendingKind, trace_id: Option<u64>, sched: Instant) -> bool {
+        let op = match &kind {
+            PendingKind::Put { name, obj_seed, len } => {
+                Op::Put { name: name.clone(), payload: payload_for(*obj_seed, *len) }
+            }
+            PendingKind::Get { obj_id, .. } => Op::Get { id: *obj_id },
+            PendingKind::Delete { obj_id } => Op::Delete { id: *obj_id },
+        };
+        self.client.set_trace_id(trace_id);
+        match self.client.submit(op) {
+            Ok(corr) => {
+                if let PendingKind::Get { obj_id, .. } = &kind {
+                    *self.inflight_gets.entry(*obj_id).or_insert(0) += 1;
+                }
+                self.pending.insert(corr, PendingOp { kind, trace_id, sched });
+                true
+            }
+            Err(_) => {
+                self.tally.errors += 1;
+                false
+            }
+        }
+    }
+
+    /// Blocks for one completion and settles it against the pending
+    /// window. Returns `false` when the connection is unusable.
+    fn recv_one(&mut self) -> bool {
+        let (corr, resp) = match self.client.recv() {
+            Ok(pair) => pair,
+            Err(_) => {
+                self.tally.errors += 1;
+                return false;
+            }
+        };
+        let Some(p) = self.pending.remove(&corr) else {
+            // A correlation id we never issued — protocol breakage.
+            self.tally.errors += 1;
+            return true;
+        };
+        if let PendingKind::Get { obj_id, .. } = &p.kind {
+            if let Some(n) = self.inflight_gets.get_mut(obj_id) {
+                *n = n.saturating_sub(1);
+                if *n == 0 {
+                    self.inflight_gets.remove(obj_id);
+                }
+            }
+        }
+        let latency_us = p.sched.elapsed().as_micros() as u64;
+        match (resp, p.kind) {
+            (Response::PutOk { id }, PendingKind::Put { obj_seed, len, .. }) => {
+                self.tally.complete(self.cfg, p.trace_id, "put", latency_us);
+                self.table.push(ObjEntry { id, seed: obj_seed, len });
+            }
+            (Response::GetOk { payload }, PendingKind::Get { obj_seed, len, .. }) => {
+                self.tally.complete(self.cfg, p.trace_id, "get", latency_us);
+                if payload != payload_for(obj_seed, len) {
+                    self.tally.payload_mismatches += 1;
+                }
+            }
+            (Response::Ok, PendingKind::Delete { .. }) => {
+                self.tally.complete(self.cfg, p.trace_id, "delete", latency_us);
+            }
+            (Response::Busy, kind) => {
+                // Same backoff as the serial path, then the identical op
+                // goes back out under a fresh correlation id with its
+                // original latency clock still running.
+                self.tally.busy_retries += 1;
+                thread::sleep(Duration::from_millis(1));
+                return self.submit_kind(kind, p.trace_id, p.sched);
+            }
+            (Response::Unrecoverable { .. }, PendingKind::Get { .. }) => {
+                self.tally.unrecoverable += 1;
+            }
+            _ => {
+                self.tally.errors += 1;
+            }
+        }
+        true
+    }
+}
+
+/// The pipelined worker body: up to `pipeline_depth` requests in flight
+/// on one connection, completions settled in whatever order the shards
+/// finish them.
+fn worker_loop_pipelined(
+    cfg: &LoadConfig,
+    worker: u64,
+    stop_at: Instant,
+    seq: &AtomicU64,
+) -> WorkerTally {
+    let mut client = match PipelinedClient::connect(&cfg.addr) {
+        Ok(c) => c,
+        Err(_) => {
+            let mut tally = WorkerTally::default();
+            tally.errors += 1;
+            return tally;
+        }
+    };
+    client.set_deadline_ms(cfg.deadline_ms);
+    let rng =
+        SmallRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(worker + 1));
+    let mut w = PipelinedWorker {
+        cfg,
+        client,
+        rng,
+        table: ZipfTable::new(cfg.zipf_theta),
+        pending: HashMap::new(),
+        inflight_gets: HashMap::new(),
+        tally: WorkerTally::default(),
+        seq,
+    };
+
+    // Prefill serially (depth 1) so the zipf table is warm before the
+    // window opens.
+    for _ in 0..cfg.prefill {
+        let tid = (cfg.trace_sample > 0).then(|| w.rng.next_u64());
+        let len = if cfg.payload_max > cfg.payload_min {
+            w.rng.gen_range(cfg.payload_min..=cfg.payload_max)
+        } else {
+            cfg.payload_min.max(1)
+        };
+        let obj_seed = w.rng.next_u64();
+        let name = format!("load-{}", seq.fetch_add(1, Ordering::Relaxed));
+        let kind = PendingKind::Put { name, obj_seed, len: len.max(1) };
+        if !w.submit_kind(kind, tid, Instant::now()) {
+            return w.tally;
+        }
+        while !w.pending.is_empty() {
+            if !w.recv_one() {
+                return w.tally;
+            }
+        }
+    }
+
+    let depth = cfg.pipeline_depth.max(1);
+    let interval = per_worker_interval(cfg);
+    let open_start = Instant::now();
+    let mut issued: u64 = 0;
+    loop {
+        let now = Instant::now();
+        if now >= stop_at {
+            break;
+        }
+        let limit_hit = cfg.op_limit > 0 && issued >= cfg.op_limit;
+        if !limit_hit && w.pending.len() < depth {
+            let sched = match interval {
+                Some(iv) => {
+                    let due =
+                        open_start + Duration::from_secs_f64(issued as f64 * iv.as_secs_f64());
+                    if due >= stop_at {
+                        break;
+                    }
+                    if due > now {
+                        // Sleep in short slices so the stop clock stays
+                        // responsive at low rates; completions buffer in
+                        // the socket meanwhile and settle instantly.
+                        thread::sleep((due - now).min(Duration::from_millis(5)));
+                        continue;
+                    }
+                    due
+                }
+                None => now,
+            };
+            issued += 1;
+            let tid = (cfg.trace_sample > 0).then(|| w.rng.next_u64());
+            let kind = w.pick_kind();
+            if !w.submit_kind(kind, tid, sched) {
+                return w.tally;
+            }
+            continue;
+        }
+        if w.pending.is_empty() {
+            if limit_hit {
+                break;
+            }
+            continue;
+        }
+        if !w.recv_one() {
+            return w.tally;
+        }
+    }
+    // Settle whatever is still in flight — those were real arrivals.
+    while !w.pending.is_empty() {
+        if !w.recv_one() {
+            break;
+        }
+    }
+    w.tally
+}
+
+/// Multiplexed open-loop driver: thousands of connections, one thread.
+///
+/// The connection-count scaling bench needs 10,000+ concurrent
+/// connections against a server sharing the same machine. Driving those
+/// with one thread each would measure the *driver's* scheduler, not the
+/// server; instead [`run_mux`] multiplexes every connection over the
+/// same readiness reactor the server itself uses — nonblocking sockets,
+/// per-connection frame reassembly, correlation-id matching — and paces
+/// arrivals on a fixed open-loop schedule. Latency is measured from each
+/// operation's *scheduled* arrival, so a server that falls behind at
+/// high connection counts shows the backlog in p99 rather than silently
+/// slowing the offered load.
+#[cfg(unix)]
+pub mod mux {
+    use super::payload_for;
+    use crate::client::Client;
+    use crate::error::ClientError;
+    use crate::protocol::{append_frame, FrameBuffer, Op, Request, Response};
+    use crate::reactor::{Event, Interest, Poller};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::io::{ErrorKind, Read, Write};
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
+    use tornado_obs::Histogram;
+
+    /// Tunables for one [`run_mux`] run.
+    #[derive(Clone, Debug)]
+    pub struct MuxConfig {
+        /// Server address.
+        pub addr: String,
+        /// Concurrent connections, all multiplexed on one driver thread.
+        pub connections: usize,
+        /// Measured window, milliseconds (arrivals stop at the window
+        /// edge; stragglers get a bounded drain).
+        pub duration_ms: u64,
+        /// Aggregate open-loop arrival rate, operations per second,
+        /// spread round-robin across all connections.
+        pub rate_ops_per_sec: f64,
+        /// Seed for object choice and verification sampling.
+        pub seed: u64,
+        /// Objects PUT up front (serially) that the GET stream reads.
+        pub prefill: usize,
+        /// Payload length of each prefilled object, bytes.
+        pub payload_len: usize,
+        /// Deadline stamped on every request (0 = none).
+        pub deadline_ms: u32,
+        /// In-flight cap per connection; arrivals that find every
+        /// connection at its cap are shed (counted, not sent).
+        pub max_inflight_per_conn: usize,
+        /// Verify payload bytes on 1-in-N GETs (0 = never) — full
+        /// verification at 10k connections would bottleneck the driver.
+        pub verify_sample: u64,
+    }
+
+    impl Default for MuxConfig {
+        fn default() -> Self {
+            Self {
+                addr: "127.0.0.1:7401".into(),
+                connections: 256,
+                duration_ms: 2_000,
+                rate_ops_per_sec: 1_000.0,
+                seed: 1,
+                prefill: 16,
+                payload_len: 4 << 10,
+                deadline_ms: 0,
+                max_inflight_per_conn: 32,
+                verify_sample: 64,
+            }
+        }
+    }
+
+    /// Aggregated result of one [`run_mux`] run.
+    #[derive(Debug)]
+    pub struct MuxReport {
+        /// Connections requested.
+        pub connections: usize,
+        /// Connections actually established.
+        pub connected: usize,
+        /// Wall-clock from first arrival to last settled completion, ms.
+        pub elapsed_ms: u64,
+        /// Successfully completed operations.
+        pub ops: u64,
+        /// BUSY answers (open loop does not retry — shed at the server).
+        pub busy: u64,
+        /// Arrivals dropped because every connection was at its
+        /// in-flight cap (shed at the driver).
+        pub shed: u64,
+        /// Transport or server errors (includes completions lost to a
+        /// dead connection).
+        pub errors: u64,
+        /// Verified GETs whose bytes did not match — must stay zero.
+        pub payload_mismatches: u64,
+        /// Requests submitted onto the wire.
+        pub submitted: u64,
+        /// Still unanswered when the drain deadline expired.
+        pub unanswered: u64,
+        /// The configured arrival rate, ops/s.
+        pub target_rate: f64,
+        /// Completed ops per second over the elapsed window.
+        pub achieved_rate: f64,
+        /// Latency from scheduled arrival to settled completion, µs.
+        pub latency_us: Histogram,
+    }
+
+    impl MuxReport {
+        /// Median latency in microseconds.
+        pub fn p50_us(&self) -> u64 {
+            self.latency_us.percentile(0.5).unwrap_or(0)
+        }
+
+        /// 99th-percentile latency in microseconds.
+        pub fn p99_us(&self) -> u64 {
+            self.latency_us.percentile(0.99).unwrap_or(0)
+        }
+    }
+
+    /// One request on the wire, awaiting its completion.
+    struct MuxPending {
+        corr: u32,
+        /// Scheduled arrival — the latency origin.
+        sched: Instant,
+        obj_seed: u64,
+        len: usize,
+        verify: bool,
+    }
+
+    /// One multiplexed connection's state.
+    struct MuxConn {
+        stream: TcpStream,
+        inbuf: FrameBuffer,
+        out: Vec<u8>,
+        out_pos: usize,
+        pending: Vec<MuxPending>,
+        next_corr: u32,
+        write_interest: bool,
+        dead: bool,
+    }
+
+    /// How long past the arrival window stragglers may settle.
+    const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+    /// Runs the multiplexed open-loop GET stream and returns the report.
+    ///
+    /// Fails fast if the server is unreachable or prefill fails; errors
+    /// on individual connections during the run are counted, not fatal.
+    pub fn run_mux(cfg: &MuxConfig) -> Result<MuxReport, ClientError> {
+        // Prefill over an ordinary serial connection.
+        let mut admin = Client::connect(&cfg.addr)?;
+        admin.ping()?;
+        let mut objects = Vec::with_capacity(cfg.prefill.max(1));
+        for i in 0..cfg.prefill.max(1) {
+            let obj_seed = cfg.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let len = cfg.payload_len.max(1);
+            let payload = payload_for(obj_seed, len);
+            let id = admin.put(&format!("mux-{}-{i}", cfg.seed), &payload)?;
+            objects.push((id, obj_seed, len));
+        }
+
+        // File descriptors: connections + listener-side headroom.
+        let _ = crate::reactor::raise_nofile_limit(cfg.connections as u64 + 128);
+        let poller = Poller::new().map_err(ClientError::Io)?;
+        let mut conns: Vec<MuxConn> = Vec::with_capacity(cfg.connections);
+        let mut connect_errors = 0u64;
+        for i in 0..cfg.connections.max(1) {
+            // Blocking connect gives natural backpressure against the
+            // server's accept queue; nonblocking takes over after.
+            match TcpStream::connect(&cfg.addr) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    s.set_nonblocking(true).map_err(ClientError::Io)?;
+                    poller.register(&s, conns.len() as u64, Interest::READ).map_err(ClientError::Io)?;
+                    conns.push(MuxConn {
+                        stream: s,
+                        inbuf: FrameBuffer::new(),
+                        out: Vec::new(),
+                        out_pos: 0,
+                        pending: Vec::new(),
+                        next_corr: (i as u32) << 16,
+                        write_interest: false,
+                        dead: false,
+                    });
+                }
+                Err(_) => connect_errors += 1,
+            }
+        }
+        if conns.is_empty() {
+            return Err(ClientError::Unexpected("no mux connections established".into()));
+        }
+
+        let mut report = MuxReport {
+            connections: cfg.connections,
+            connected: conns.len(),
+            elapsed_ms: 0,
+            ops: 0,
+            busy: 0,
+            shed: 0,
+            errors: connect_errors,
+            payload_mismatches: 0,
+            submitted: 0,
+            unanswered: 0,
+            target_rate: cfg.rate_ops_per_sec,
+            achieved_rate: 0.0,
+            latency_us: Histogram::new(),
+        };
+
+        let rate = cfg.rate_ops_per_sec.max(1.0);
+        let interval_s = 1.0 / rate;
+        let start = Instant::now();
+        let stop_at = start + Duration::from_millis(cfg.duration_ms);
+        let drain_by = stop_at + DRAIN_GRACE;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut arrivals = 0u64;
+        let mut rr = 0usize;
+        let mut events: Vec<Event> = Vec::new();
+        let mut scratch = vec![0u8; 16 << 10];
+
+        loop {
+            let now = Instant::now();
+
+            // Emit every arrival that is due, round-robin over
+            // connections with window capacity.
+            if now < stop_at {
+                loop {
+                    let due = start + Duration::from_secs_f64(arrivals as f64 * interval_s);
+                    if due > now {
+                        break;
+                    }
+                    arrivals += 1;
+                    let n = conns.len();
+                    let slot = (0..n).map(|k| (rr + k) % n).find(|&c| {
+                        !conns[c].dead && conns[c].pending.len() < cfg.max_inflight_per_conn.max(1)
+                    });
+                    rr = rr.wrapping_add(1);
+                    match slot {
+                        Some(c) => {
+                            let (id, obj_seed, len) = objects[rng.gen_range(0..objects.len())];
+                            let verify =
+                                cfg.verify_sample > 0 && rng.gen_range(0..cfg.verify_sample) == 0;
+                            submit_get(&mut conns[c], cfg, id, obj_seed, len, verify, due);
+                            report.submitted += 1;
+                            flush_conn(&poller, &mut conns[c], c as u64, &mut report);
+                        }
+                        None => report.shed += 1,
+                    }
+                }
+            }
+
+            let outstanding: usize = conns.iter().map(|c| c.pending.len()).sum();
+            if (now >= stop_at && outstanding == 0) || now >= drain_by {
+                report.unanswered = outstanding as u64;
+                break;
+            }
+
+            // Sleep until the next arrival is due (capped so the stop
+            // and drain clocks stay responsive).
+            let next_due = start + Duration::from_secs_f64(arrivals as f64 * interval_s);
+            let timeout = if now < stop_at {
+                next_due.saturating_duration_since(now).min(Duration::from_millis(10))
+            } else {
+                Duration::from_millis(10)
+            };
+            poller.wait(&mut events, Some(timeout)).map_err(ClientError::Io)?;
+            for ev in events.drain(..) {
+                let c = ev.token as usize;
+                if c >= conns.len() || conns[c].dead {
+                    continue;
+                }
+                if ev.readable {
+                    read_conn(&poller, &mut conns[c], cfg, &mut scratch, &mut report);
+                }
+                if ev.writable && !conns[c].dead {
+                    flush_conn(&poller, &mut conns[c], c as u64, &mut report);
+                }
+            }
+        }
+
+        let elapsed_ms = (start.elapsed().as_millis() as u64).max(1);
+        report.elapsed_ms = elapsed_ms;
+        report.achieved_rate = report.ops as f64 * 1000.0 / elapsed_ms as f64;
+        Ok(report)
+    }
+
+    /// Frames one correlated GET into the connection's output buffer.
+    fn submit_get(
+        conn: &mut MuxConn,
+        cfg: &MuxConfig,
+        id: u64,
+        obj_seed: u64,
+        len: usize,
+        verify: bool,
+        sched: Instant,
+    ) {
+        let corr = conn.next_corr;
+        conn.next_corr = conn.next_corr.wrapping_add(1);
+        let req = Request {
+            deadline_ms: cfg.deadline_ms,
+            corr_id: Some(corr),
+            trace_id: None,
+            op: Op::Get { id },
+        };
+        append_frame(&mut conn.out, &req.encode());
+        conn.pending.push(MuxPending { corr, sched, obj_seed, len, verify });
+    }
+
+    /// Writes as much buffered output as the socket accepts, tracking
+    /// write interest across WouldBlock.
+    fn flush_conn(poller: &Poller, conn: &mut MuxConn, token: u64, report: &mut MuxReport) {
+        while conn.out_pos < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    kill_conn(poller, conn, report);
+                    return;
+                }
+                Ok(n) => conn.out_pos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if !conn.write_interest {
+                        conn.write_interest = true;
+                        let _ = poller.reregister(&conn.stream, token, Interest::READ_WRITE);
+                    }
+                    return;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    kill_conn(poller, conn, report);
+                    return;
+                }
+            }
+        }
+        conn.out.clear();
+        conn.out_pos = 0;
+        if conn.write_interest {
+            conn.write_interest = false;
+            let _ = poller.reregister(&conn.stream, token, Interest::READ);
+        }
+    }
+
+    /// Drains readable bytes and settles every completed frame.
+    fn read_conn(
+        poller: &Poller,
+        conn: &mut MuxConn,
+        cfg: &MuxConfig,
+        scratch: &mut [u8],
+        report: &mut MuxReport,
+    ) {
+        loop {
+            match conn.stream.read(scratch) {
+                Ok(0) => {
+                    kill_conn(poller, conn, report);
+                    return;
+                }
+                Ok(n) => conn.inbuf.extend(&scratch[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    kill_conn(poller, conn, report);
+                    return;
+                }
+            }
+        }
+        loop {
+            match conn.inbuf.next_frame() {
+                Ok(Some(body)) => settle(conn, cfg, &body, report),
+                Ok(None) => break,
+                Err(_) => {
+                    kill_conn(poller, conn, report);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Matches one response frame to its pending request and records it.
+    fn settle(conn: &mut MuxConn, _cfg: &MuxConfig, body: &[u8], report: &mut MuxReport) {
+        let (corr, resp) = match Response::decode_corr(body) {
+            Ok(pair) => pair,
+            Err(_) => {
+                report.errors += 1;
+                return;
+            }
+        };
+        let Some(corr) = corr else {
+            report.errors += 1;
+            return;
+        };
+        let Some(i) = conn.pending.iter().position(|p| p.corr == corr) else {
+            report.errors += 1;
+            return;
+        };
+        let p = conn.pending.swap_remove(i);
+        let latency_us = p.sched.elapsed().as_micros() as u64;
+        match resp {
+            Response::GetOk { payload } => {
+                report.ops += 1;
+                report.latency_us.record(latency_us);
+                if p.verify && payload != payload_for(p.obj_seed, p.len) {
+                    report.payload_mismatches += 1;
+                }
+            }
+            Response::Busy => report.busy += 1,
+            _ => report.errors += 1,
+        }
+    }
+
+    /// Tears a connection down; its in-flight requests become errors.
+    fn kill_conn(poller: &Poller, conn: &mut MuxConn, report: &mut MuxReport) {
+        if conn.dead {
+            return;
+        }
+        conn.dead = true;
+        let _ = poller.deregister(&conn.stream);
+        report.errors += conn.pending.len() as u64;
+        conn.pending.clear();
+        conn.out.clear();
+        conn.out_pos = 0;
     }
 }
 
@@ -660,6 +1413,95 @@ mod tests {
         let mut kept: Vec<u64> = slowest.iter().map(|e| e.latency_us).collect();
         kept.sort_unstable();
         assert_eq!(kept, vec![300, 600, 700, 800, 900]);
+    }
+
+    /// A protocol-speaking stub server: every connection gets a thread
+    /// (test scale only) that answers each request immediately, echoing
+    /// correlation ids. PUTs get `PutOk`, GETs a fixed fake payload.
+    fn spawn_stub_server() -> std::net::SocketAddr {
+        use crate::protocol::{read_frame, write_frame, FrameRead, Request};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind stub");
+        let addr = listener.local_addr().expect("stub addr");
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut s) = stream else { break };
+                thread::spawn(move || loop {
+                    match read_frame(&mut s) {
+                        Ok(FrameRead::Frame(body)) => {
+                            let Ok(req) = Request::decode(&body) else { return };
+                            let resp = match req.op {
+                                Op::Put { .. } => Response::PutOk { id: 7 },
+                                Op::Get { .. } => Response::GetOk { payload: vec![1, 2, 3] },
+                                Op::Metrics => Response::MetricsOk { json: "{}".into() },
+                                _ => Response::Ok,
+                            };
+                            if write_frame(&mut s, &resp.encode_corr(req.corr_id)).is_err() {
+                                return;
+                            }
+                        }
+                        _ => return,
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn per_worker_interval_splits_rate_across_connections() {
+        let cfg = LoadConfig { connections: 4, rate_ops_per_sec: 200.0, ..LoadConfig::default() };
+        let iv = per_worker_interval(&cfg).expect("open loop");
+        assert!((iv.as_secs_f64() - 0.02).abs() < 1e-9, "4 workers share 200/s: {iv:?}");
+        assert_eq!(per_worker_interval(&LoadConfig::default()), None);
+    }
+
+    #[test]
+    fn pipelined_worker_completes_its_op_limit_exactly() {
+        let addr = spawn_stub_server();
+        let cfg = LoadConfig {
+            addr: addr.to_string(),
+            connections: 1,
+            duration_ms: 10_000,
+            pipeline_depth: 8,
+            // PUT-only mix: the stub fakes GET payloads, which would
+            // (correctly) trip byte-for-byte verification.
+            mix: OpMix { put: 100, get: 0, delete: 0 },
+            payload_min: 32,
+            payload_max: 64,
+            prefill: 8,
+            op_limit: 40,
+            trace_sample: 0,
+            ..LoadConfig::default()
+        };
+        let report = run_load(&cfg).expect("load run");
+        assert_eq!(report.ops, 48, "8 prefill + 40 measured: {report:?}");
+        assert_eq!(report.puts, 48);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.payload_mismatches, 0);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mux_driver_sustains_open_loop_over_many_connections() {
+        let addr = spawn_stub_server();
+        let cfg = mux::MuxConfig {
+            addr: addr.to_string(),
+            connections: 32,
+            duration_ms: 400,
+            rate_ops_per_sec: 500.0,
+            prefill: 4,
+            payload_len: 64,
+            verify_sample: 0, // stub payloads are fake by design
+            ..mux::MuxConfig::default()
+        };
+        let report = mux::run_mux(&cfg).expect("mux run");
+        assert_eq!(report.connected, 32);
+        assert_eq!(report.errors, 0, "{report:?}");
+        assert_eq!(report.unanswered, 0, "drain settles everything");
+        assert_eq!(report.shed, 0, "32x32 window absorbs 500/s");
+        assert!(report.ops >= 100, "~200 arrivals in 400ms: {}", report.ops);
+        assert!(report.p99_us() > 0);
+        assert!(report.achieved_rate > 0.0);
     }
 
     #[test]

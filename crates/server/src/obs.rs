@@ -20,6 +20,42 @@ use tornado_store::{ArchivalStore, StoreObserver};
 /// At the default 500 ms interval this is one minute of history.
 pub const TIMESERIES_CAPACITY: usize = 120;
 
+/// Per-shard statistics for the event-loop serving path. One instance per
+/// shard, written only by that shard's thread (plus the engine workers'
+/// completion handoff), aggregated across shards at snapshot time.
+#[derive(Default)]
+pub struct LoopStats {
+    /// Readiness wakeups (returns from the poller's wait).
+    pub wakeups: Counter,
+    /// Readiness events delivered, summed over wakeups — events ÷ wakeups
+    /// is the loop's batching factor.
+    pub events: Counter,
+    /// Output flushes that coalesced two or more response frames into one
+    /// write syscall (the write-batching win).
+    pub batched_writes: Counter,
+    /// Output flush syscalls, total.
+    pub write_flushes: Counter,
+    /// Request frames reassembled and dispatched or answered.
+    pub frames_in: Counter,
+    /// Response frames queued for output.
+    pub responses_out: Counter,
+    /// Engine-queue rejections surfaced as BUSY without blocking the loop
+    /// (the event-loop backpressure signal).
+    pub queue_busy: Counter,
+    /// Connections currently owned by this shard.
+    pub connections: Gauge,
+    /// Frames dispatched to the engine and not yet answered, across this
+    /// shard's connections.
+    pub inflight: Gauge,
+}
+
+impl LoopStats {
+    /// Fresh, zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Metrics and events for one server instance.
 pub struct ServerObserver {
     /// Structured event sink (disabled by default).
@@ -92,6 +128,11 @@ pub struct ServerObserver {
     /// [`crate::config::HealthConfig::enabled`] is set. Engine workers
     /// answer HEALTH from it; the sampler thread drives its SLO clock.
     pub health: OnceLock<Arc<HealthModel>>,
+    /// Per-shard event-loop statistics, installed by `serve` when the
+    /// event-loop path is active. Empty (never installed) under the
+    /// thread-per-connection path; `server.loop.*` metrics still emit as
+    /// zeros so dashboards never miss the keys.
+    pub loop_shards: OnceLock<Vec<Arc<LoopStats>>>,
 }
 
 impl ServerObserver {
@@ -129,7 +170,44 @@ impl ServerObserver {
             other_us: Histogram::new(),
             store_obs: Arc::new(StoreObserver::disabled()),
             health: OnceLock::new(),
+            loop_shards: OnceLock::new(),
         }
+    }
+
+    /// Installs the event-loop shards' statistics (at most once; `serve`
+    /// calls this before the shards start).
+    pub fn install_loop_shards(&self, shards: Vec<Arc<LoopStats>>) {
+        let _ = self.loop_shards.set(shards);
+    }
+
+    /// Sums a per-shard counter across installed shards (0 when the
+    /// event-loop path is not active).
+    fn loop_sum(&self, f: impl Fn(&LoopStats) -> u64) -> u64 {
+        self.loop_shards
+            .get()
+            .map_or(0, |shards| shards.iter().map(|s| f(s)).sum())
+    }
+
+    /// Sums a per-shard gauge across installed shards.
+    fn loop_gauge_sum(&self, f: impl Fn(&LoopStats) -> i64) -> i64 {
+        self.loop_shards
+            .get()
+            .map_or(0, |shards| shards.iter().map(|s| f(s)).sum())
+    }
+
+    /// Shard imbalance: max − min connection count across shards (0 when
+    /// fewer than two shards are installed). A persistently large value
+    /// means the round-robin acceptor is fighting uneven connection
+    /// lifetimes.
+    fn loop_shard_imbalance(&self) -> i64 {
+        let Some(shards) = self.loop_shards.get() else { return 0 };
+        if shards.len() < 2 {
+            return 0;
+        }
+        let counts: Vec<i64> = shards.iter().map(|s| s.connections.get()).collect();
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let min = counts.iter().copied().min().unwrap_or(0);
+        max - min
     }
 
     /// Replaces the event sink.
@@ -216,6 +294,18 @@ impl ServerObserver {
                     "health.recomputes".into(),
                     self.health.get().map_or(0, |m| m.recomputes.get()),
                 ),
+                // Event-loop activity (zeros under thread-per-connection).
+                // connections/inflight are point-in-time gauges, not
+                // cumulative counters — `watch` shows them raw, not as
+                // rates.
+                (
+                    "server.loop.connections".into(),
+                    self.loop_gauge_sum(|s| s.connections.get()).max(0) as u64,
+                ),
+                (
+                    "server.loop.inflight".into(),
+                    self.loop_gauge_sum(|s| s.inflight.get()).max(0) as u64,
+                ),
             ],
         });
     }
@@ -262,6 +352,30 @@ impl ServerObserver {
             )
             .counter_value("pool.hit", tornado_codec::pool::metrics().hits.get())
             .counter_value("pool.miss", tornado_codec::pool::metrics().misses.get())
+            // Event-loop serving metrics: always present (zeros under the
+            // thread-per-connection path) so dashboards never miss keys.
+            .counter_value("server.loop.wakeups", self.loop_sum(|s| s.wakeups.get()))
+            .counter_value("server.loop.events", self.loop_sum(|s| s.events.get()))
+            .counter_value(
+                "server.loop.batched_writes",
+                self.loop_sum(|s| s.batched_writes.get()),
+            )
+            .counter_value(
+                "server.loop.write_flushes",
+                self.loop_sum(|s| s.write_flushes.get()),
+            )
+            .counter_value("server.loop.frames_in", self.loop_sum(|s| s.frames_in.get()))
+            .counter_value(
+                "server.loop.responses_out",
+                self.loop_sum(|s| s.responses_out.get()),
+            )
+            .counter_value("server.queue.busy", self.loop_sum(|s| s.queue_busy.get()))
+            .gauge_value(
+                "server.loop.connections",
+                self.loop_gauge_sum(|s| s.connections.get()),
+            )
+            .gauge_value("server.loop.inflight", self.loop_gauge_sum(|s| s.inflight.get()))
+            .gauge_value("server.loop.shard_imbalance", self.loop_shard_imbalance())
             .gauge("server.connections_active", &self.connections_active)
             .gauge("server.queue_depth", &self.queue_depth)
             .gauge("server.queue_depth_peak", &self.queue_depth_peak);

@@ -9,19 +9,29 @@
 //! ```
 //!
 //! A request body is a fixed header followed by op-specific fields, all
-//! integers little-endian:
+//! integers little-endian (header v2 — the correlation id is new):
 //!
 //! ```text
-//! byte 0       opcode (low 7 bits) | TRACE_FLAG (0x80)
+//! byte 0       opcode (low 6 bits) | CORR_FLAG (0x40) | TRACE_FLAG (0x80)
 //! bytes 1..5   deadline_ms: u32 (0 = no deadline)
-//! [bytes 5..13 trace_id: u64 — present iff TRACE_FLAG set]
+//! [bytes ..    corr_id: u32  — present iff CORR_FLAG set]
+//! [bytes ..    trace_id: u64 — present iff TRACE_FLAG set]
 //! bytes ..     op fields
 //! ```
 //!
-//! The trace id rides in a flag bit so the header stays back-compatible
-//! both ways: pre-trace clients never set the bit and their frames decode
-//! exactly as before, and a pre-trace server would reject a flagged
-//! opcode loudly (unknown opcode) rather than misparse the body.
+//! Optional header extensions ride in flag bits so the header stays
+//! back-compatible both ways: pre-trace / pre-pipelining clients never set
+//! a bit and their frames decode exactly as before, and an old server
+//! rejects a flagged opcode loudly (unknown opcode) rather than misparse
+//! the body.
+//!
+//! The correlation id is the pipelining handle: a client that sets
+//! [`CORR_FLAG`] may issue further requests on the same connection before
+//! reading responses, and the server may answer them out of order — each
+//! response then starts with its status byte OR [`RESP_CORR_FLAG`],
+//! followed by the echoed `corr_id: u32`, before the usual status fields.
+//! Requests without the flag keep the strict one-at-a-time
+//! request/response contract and byte-identical responses.
 //!
 //! | opcode | op            | fields                                   |
 //! |--------|---------------|------------------------------------------|
@@ -63,8 +73,17 @@ use std::io::{self, Read, Write};
 /// allocation (a corrupt or hostile peer cannot balloon memory).
 pub const MAX_FRAME: usize = 16 << 20;
 
-/// Header flag bit: an 8-byte trace id follows `deadline_ms`.
+/// Header flag bit: an 8-byte trace id follows the (optional) corr id.
 pub const TRACE_FLAG: u8 = 0x80;
+
+/// Header flag bit: a 4-byte correlation id follows `deadline_ms`, and
+/// the request may be answered out of order (pipelining).
+pub const CORR_FLAG: u8 = 0x40;
+
+/// Response status flag bit: the status byte is followed by the echoed
+/// 4-byte correlation id. Only ever set on responses to requests that
+/// carried [`CORR_FLAG`], so old clients never see it.
+pub const RESP_CORR_FLAG: u8 = 0x80;
 
 /// One decoded request: a deadline plus the operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -72,6 +91,9 @@ pub struct Request {
     /// Milliseconds the client allows for this request, measured from
     /// server acceptance; 0 means no deadline.
     pub deadline_ms: u32,
+    /// Pipelining correlation id; `None` from one-at-a-time clients
+    /// (whose responses then stay in strict request order).
+    pub corr_id: Option<u32>,
     /// Client-assigned distributed-trace id; `None` from pre-trace
     /// clients (the server then assigns its own for sampled spans).
     pub trace_id: Option<u64>,
@@ -353,12 +375,18 @@ impl Request {
             Op::TraceExport => 10,
             Op::Health => 11,
         };
-        buf.push(if self.trace_id.is_some() {
-            opcode | TRACE_FLAG
-        } else {
-            opcode
-        });
+        let mut tagged = opcode;
+        if self.corr_id.is_some() {
+            tagged |= CORR_FLAG;
+        }
+        if self.trace_id.is_some() {
+            tagged |= TRACE_FLAG;
+        }
+        buf.push(tagged);
         put_u32(&mut buf, self.deadline_ms);
+        if let Some(corr_id) = self.corr_id {
+            put_u32(&mut buf, corr_id);
+        }
         if let Some(trace_id) = self.trace_id {
             put_u64(&mut buf, trace_id);
         }
@@ -379,8 +407,13 @@ impl Request {
     pub fn decode(body: &[u8]) -> Result<Request, WireError> {
         let mut c = Cursor::new(body);
         let tagged = c.u8("opcode")?;
-        let opcode = tagged & !TRACE_FLAG;
+        let opcode = tagged & !(TRACE_FLAG | CORR_FLAG);
         let deadline_ms = c.u32("deadline")?;
+        let corr_id = if tagged & CORR_FLAG != 0 {
+            Some(c.u32("corr id")?)
+        } else {
+            None
+        };
         let trace_id = if tagged & TRACE_FLAG != 0 {
             Some(c.u64("trace id")?)
         } else {
@@ -411,6 +444,7 @@ impl Request {
         c.finish(op.kind())?;
         Ok(Request {
             deadline_ms,
+            corr_id,
             trace_id,
             op,
         })
@@ -535,9 +569,127 @@ impl Response {
         c.finish(resp.kind())?;
         Ok(resp)
     }
+
+    /// Serializes the response body, echoing `corr_id` when the request
+    /// was correlated: the status byte gains [`RESP_CORR_FLAG`] and the
+    /// u32 id follows it. With `corr_id: None` this is byte-identical to
+    /// [`Response::encode`], so uncorrelated clients see the old wire.
+    pub fn encode_corr(&self, corr_id: Option<u32>) -> Vec<u8> {
+        let body = self.encode();
+        match corr_id {
+            None => body,
+            Some(corr) => {
+                let mut out = Vec::with_capacity(body.len() + 5);
+                out.push(body[0] | RESP_CORR_FLAG);
+                out.extend_from_slice(&corr.to_le_bytes());
+                out.extend_from_slice(&body[1..]);
+                out
+            }
+        }
+    }
+
+    /// Parses a response body that may carry an echoed correlation id.
+    /// Unflagged bodies decode exactly as [`Response::decode`] with
+    /// `None` for the id.
+    pub fn decode_corr(body: &[u8]) -> Result<(Option<u32>, Response), WireError> {
+        let first = *body
+            .first()
+            .ok_or_else(|| WireError("truncated status".into()))?;
+        if first & RESP_CORR_FLAG == 0 {
+            return Ok((None, Response::decode(body)?));
+        }
+        if body.len() < 5 {
+            return Err(WireError("truncated corr id".into()));
+        }
+        let corr = u32::from_le_bytes(body[1..5].try_into().unwrap());
+        let mut unflagged = Vec::with_capacity(body.len() - 4);
+        unflagged.push(first & !RESP_CORR_FLAG);
+        unflagged.extend_from_slice(&body[5..]);
+        Ok((Some(corr), Response::decode(&unflagged)?))
+    }
 }
 
 // --- frame I/O -------------------------------------------------------------
+
+/// Appends one frame (`u32` LE length prefix plus `body`) to an in-memory
+/// buffer — the write-batching building block: shards queue several
+/// response frames into one buffer and flush them with a single syscall.
+pub fn append_frame(out: &mut Vec<u8>, body: &[u8]) {
+    debug_assert!(body.len() <= MAX_FRAME, "oversized frame body");
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+}
+
+/// Incremental frame reassembly over a nonblocking byte stream.
+///
+/// Bytes arrive in arbitrary chunks ([`FrameBuffer::extend`]); complete
+/// frames come out one at a time ([`FrameBuffer::next_frame`]). The length
+/// prefix is only ever consumed together with its body, so a partial
+/// read can never desync the stream — the never-desync property of the
+/// blocking [`read_frame`] path, preserved under readiness-driven I/O.
+#[derive(Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+/// Consumed-prefix size past which [`FrameBuffer`] compacts its backing
+/// storage instead of letting dead bytes accumulate.
+const COMPACT_THRESHOLD: usize = 32 << 10;
+
+impl FrameBuffer {
+    /// An empty reassembly buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes read from the stream.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Extracts the next complete frame body, `Ok(None)` until one is
+    /// fully buffered. A length prefix over [`MAX_FRAME`] is a hard
+    /// protocol error — the connection cannot be resynchronized.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        if self.buffered() < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len =
+            u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(WireError(format!(
+                "frame length {len} exceeds MAX_FRAME {MAX_FRAME}"
+            )));
+        }
+        if self.buffered() < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let body = self.buf[self.pos + 4..self.pos + 4 + len].to_vec();
+        self.pos += 4 + len;
+        self.compact();
+        Ok(Some(body))
+    }
+
+    /// Reclaims the consumed prefix: free when the buffer is fully
+    /// drained, a memmove once the dead prefix crosses the threshold.
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= COMPACT_THRESHOLD {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
 
 /// Writes one frame: `u32` LE length prefix plus `body`.
 pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
@@ -644,11 +796,13 @@ mod tests {
     fn requests_round_trip() {
         round_trip_request(Request {
             deadline_ms: 0,
+            corr_id: None,
             trace_id: None,
             op: Op::Put { name: "hello/世界".into(), payload: vec![0, 1, 2, 255] },
         });
         round_trip_request(Request {
             deadline_ms: 250,
+            corr_id: None,
             trace_id: None,
             op: Op::Put { name: String::new(), payload: Vec::new() },
         });
@@ -664,7 +818,7 @@ mod tests {
             Op::TraceExport,
             Op::Health,
         ] {
-            round_trip_request(Request { deadline_ms: 42, trace_id: None, op });
+            round_trip_request(Request { deadline_ms: 42, corr_id: None, trace_id: None, op });
         }
     }
 
@@ -678,7 +832,7 @@ mod tests {
                 Op::Metrics,
                 Op::TraceExport,
             ] {
-                round_trip_request(Request { deadline_ms: 17, trace_id, op });
+                round_trip_request(Request { deadline_ms: 17, corr_id: None, trace_id, op });
             }
         }
     }
@@ -692,7 +846,7 @@ mod tests {
         get.extend_from_slice(&77u64.to_le_bytes());
         assert_eq!(
             Request::decode(&get).unwrap(),
-            Request { deadline_ms: 500, trace_id: None, op: Op::Get { id: 77 } }
+            Request { deadline_ms: 500, corr_id: None, trace_id: None, op: Op::Get { id: 77 } }
         );
 
         let mut put = vec![1u8];
@@ -704,6 +858,7 @@ mod tests {
             Request::decode(&put).unwrap(),
             Request {
                 deadline_ms: 0,
+                corr_id: None,
                 trace_id: None,
                 op: Op::Put { name: "obj".into(), payload: vec![0xAA, 0xBB] },
             }
@@ -713,7 +868,7 @@ mod tests {
         ping.extend_from_slice(&0u32.to_le_bytes());
         assert_eq!(
             Request::decode(&ping).unwrap(),
-            Request { deadline_ms: 0, trace_id: None, op: Op::Ping }
+            Request { deadline_ms: 0, corr_id: None, trace_id: None, op: Op::Ping }
         );
     }
 
@@ -721,7 +876,7 @@ mod tests {
     fn untraced_encoding_is_byte_identical_to_the_pre_trace_wire_format() {
         // An untraced GET must serialize exactly as the old format did, so
         // new clients stay compatible with pre-trace servers.
-        let body = Request { deadline_ms: 500, trace_id: None, op: Op::Get { id: 77 } }.encode();
+        let body = Request { deadline_ms: 500, corr_id: None, trace_id: None, op: Op::Get { id: 77 } }.encode();
         let mut expect = vec![2u8];
         expect.extend_from_slice(&500u32.to_le_bytes());
         expect.extend_from_slice(&77u64.to_le_bytes());
@@ -732,6 +887,7 @@ mod tests {
     fn traced_header_sets_the_flag_bit_and_carries_the_id() {
         let body = Request {
             deadline_ms: 1,
+            corr_id: None,
             trace_id: Some(0xDEAD_BEEF_CAFE_F00D),
             op: Op::Get { id: 5 },
         }
@@ -782,7 +938,7 @@ mod tests {
         assert!(Request::decode(&[200, 0, 0, 0, 0]).is_err(), "unknown opcode");
         assert!(Request::decode(&[2, 0, 0, 0, 0, 1, 2]).is_err(), "truncated id");
         // Trailing bytes after a fixed-size op are an error.
-        let mut body = Request { deadline_ms: 0, trace_id: None, op: Op::Ping }.encode();
+        let mut body = Request { deadline_ms: 0, corr_id: None, trace_id: None, op: Op::Ping }.encode();
         body.push(0);
         assert!(Request::decode(&body).is_err());
         assert!(Response::decode(&[99]).is_err(), "unknown status");
@@ -833,5 +989,198 @@ mod tests {
         wire.truncate(50);
         let mut r = std::io::Cursor::new(wire);
         assert!(read_frame(&mut r).is_err());
+    }
+
+    // --- correlation-id header (frame header v2) ---------------------------
+
+    #[test]
+    fn correlated_requests_round_trip_with_and_without_trace_ids() {
+        for corr_id in [Some(0u32), Some(1), Some(u32::MAX), None] {
+            for trace_id in [None, Some(7u64)] {
+                for op in [
+                    Op::Put { name: "p".into(), payload: vec![1, 2, 3] },
+                    Op::Get { id: 9 },
+                    Op::Ping,
+                    Op::Health,
+                ] {
+                    round_trip_request(Request { deadline_ms: 5, corr_id, trace_id, op });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corr_header_layout_is_deadline_then_corr_then_trace() {
+        let body = Request {
+            deadline_ms: 500,
+            corr_id: Some(0xAABB_CCDD),
+            trace_id: Some(0x1122_3344_5566_7788),
+            op: Op::Get { id: 77 },
+        }
+        .encode();
+        assert_eq!(body[0], 2 | CORR_FLAG | TRACE_FLAG);
+        assert_eq!(u32::from_le_bytes(body[1..5].try_into().unwrap()), 500);
+        assert_eq!(u32::from_le_bytes(body[5..9].try_into().unwrap()), 0xAABB_CCDD);
+        assert_eq!(
+            u64::from_le_bytes(body[9..17].try_into().unwrap()),
+            0x1122_3344_5566_7788
+        );
+        // A flagged frame with a truncated corr id must not misparse.
+        assert!(Request::decode(&body[..7]).is_err());
+    }
+
+    #[test]
+    fn old_new_header_version_matrix() {
+        // old client → new server: an uncorrelated, untraced GET is
+        // byte-identical to the PR 3 wire format and decodes to
+        // corr_id: None (the server then answers in strict order with
+        // unflagged responses).
+        let mut old_wire = vec![2u8];
+        old_wire.extend_from_slice(&500u32.to_le_bytes());
+        old_wire.extend_from_slice(&77u64.to_le_bytes());
+        let decoded = Request::decode(&old_wire).unwrap();
+        assert_eq!(decoded.corr_id, None);
+        assert_eq!(
+            decoded,
+            Request { deadline_ms: 500, corr_id: None, trace_id: None, op: Op::Get { id: 77 } }
+        );
+        // new client, legacy mode → any server: encoding with
+        // corr_id: None reproduces the old bytes exactly.
+        assert_eq!(
+            Request { deadline_ms: 500, corr_id: None, trace_id: None, op: Op::Get { id: 77 } }
+                .encode(),
+            old_wire
+        );
+        // new client, pipelined mode → old server: the flagged opcode is
+        // rejected loudly (unknown opcode 66), never misparsed. An old
+        // decoder strips only TRACE_FLAG, so opcode 2 | CORR_FLAG reads
+        // back as 0x42 = 66.
+        let new_wire = Request {
+            deadline_ms: 0,
+            corr_id: Some(1),
+            trace_id: None,
+            op: Op::Get { id: 1 },
+        }
+        .encode();
+        assert_eq!(new_wire[0] & !TRACE_FLAG, 66);
+
+        // new server → old client: responses to uncorrelated requests are
+        // byte-identical to the old encoding.
+        let resp = Response::PutOk { id: 7 };
+        assert_eq!(resp.encode_corr(None), resp.encode());
+        // new server → new client: flagged status byte, echoed id, then
+        // the old body.
+        let corr_body = resp.encode_corr(Some(42));
+        assert_eq!(corr_body[0], 1 | RESP_CORR_FLAG);
+        assert_eq!(u32::from_le_bytes(corr_body[1..5].try_into().unwrap()), 42);
+        assert_eq!(&corr_body[5..], &resp.encode()[1..]);
+        assert_eq!(Response::decode_corr(&corr_body).unwrap(), (Some(42), resp.clone()));
+        assert_eq!(Response::decode_corr(&resp.encode()).unwrap(), (None, resp));
+        // An old client that somehow received a flagged status rejects it
+        // loudly (unknown status) instead of misreading the body.
+        assert!(Response::decode(&corr_body).is_err());
+    }
+
+    #[test]
+    fn correlated_responses_round_trip_for_every_status() {
+        for resp in [
+            Response::Ok,
+            Response::PutOk { id: 99 },
+            Response::GetOk { payload: vec![9; 1000] },
+            Response::MetricsOk { json: "{}".into() },
+            Response::Busy,
+            Response::NotFound { id: 12 },
+            Response::Unrecoverable { id: 12, lost_blocks: 3 },
+            Response::BadRequest { message: "no".into() },
+            Response::DeadlineExceeded,
+            Response::ShuttingDown,
+            Response::ServerError { message: "boom".into() },
+        ] {
+            let body = resp.encode_corr(Some(0xFEED_BEEF));
+            assert_eq!(
+                Response::decode_corr(&body).unwrap(),
+                (Some(0xFEED_BEEF), resp.clone()),
+                "{resp:?}"
+            );
+        }
+        assert!(Response::decode_corr(&[]).is_err());
+        assert!(Response::decode_corr(&[RESP_CORR_FLAG, 1, 2]).is_err(), "truncated corr");
+    }
+
+    // --- incremental frame reassembly --------------------------------------
+
+    #[test]
+    fn frame_buffer_reassembles_byte_at_a_time() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"alpha").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, &[7u8; 300]).unwrap();
+        let mut fb = FrameBuffer::new();
+        let mut frames = Vec::new();
+        for &b in &wire {
+            fb.extend(&[b]);
+            while let Some(f) = fb.next_frame().unwrap() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0], b"alpha");
+        assert!(frames[1].is_empty());
+        assert_eq!(frames[2], vec![7u8; 300]);
+        assert_eq!(fb.buffered(), 0, "nothing left over");
+    }
+
+    #[test]
+    fn frame_buffer_never_desyncs_across_arbitrary_chunking() {
+        // 100 frames with varied bodies, delivered in every chunk size
+        // from 1 to 17 bytes — the reassembled stream must be identical.
+        let mut wire = Vec::new();
+        let mut expect = Vec::new();
+        for i in 0..100usize {
+            let body: Vec<u8> = (0..i * 7 % 97).map(|j| (i * 31 + j) as u8).collect();
+            write_frame(&mut wire, &body).unwrap();
+            expect.push(body);
+        }
+        for chunk in 1..=17usize {
+            let mut fb = FrameBuffer::new();
+            let mut got = Vec::new();
+            for piece in wire.chunks(chunk) {
+                fb.extend(piece);
+                while let Some(f) = fb.next_frame().unwrap() {
+                    got.push(f);
+                }
+            }
+            assert_eq!(got, expect, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn frame_buffer_rejects_oversized_prefix_without_allocating() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&u32::MAX.to_le_bytes());
+        assert!(fb.next_frame().is_err());
+    }
+
+    #[test]
+    fn frame_buffer_compacts_consumed_prefix() {
+        let mut fb = FrameBuffer::new();
+        let body = vec![3u8; 8 << 10];
+        for _ in 0..16 {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &body).unwrap();
+            fb.extend(&wire);
+            assert_eq!(fb.next_frame().unwrap().unwrap(), body);
+        }
+        // After compaction the dead prefix is bounded, not 16 frames deep.
+        assert!(fb.buf.len() < 2 * (body.len() + 4), "backing store stays bounded");
+    }
+
+    #[test]
+    fn append_frame_matches_write_frame_bytes() {
+        let mut streamed = Vec::new();
+        write_frame(&mut streamed, b"hello").unwrap();
+        let mut batched = Vec::new();
+        append_frame(&mut batched, b"hello");
+        assert_eq!(streamed, batched);
     }
 }

@@ -1,16 +1,26 @@
 //! The TCP archival block service.
 //!
 //! [`serve`] binds a listener and returns a [`ServerHandle`]; the accept
-//! loop, one handler thread per connection, and the engine's worker pool
-//! all run in the background. Every stage polls a shared shutdown flag at
-//! its natural boundary — the accept loop between accepts, handlers
-//! between frames, workers between jobs — so a SHUTDOWN op (or
-//! [`ServerHandle::shutdown`]) drains cleanly: in-flight requests finish,
-//! new frames are answered SHUTTING_DOWN, queued jobs execute, and
-//! [`ServerHandle::join`] returns only after every thread has exited.
+//! loop, the connection-serving layer, and the engine's worker pool all
+//! run in the background. Two serving paths share the same engine,
+//! protocol, and observability:
+//!
+//! * **Event loop** (the default on unix): a single acceptor distributes
+//!   connections round-robin to [`crate::shard`] event-loop shards —
+//!   nonblocking readiness polling, incremental frame reassembly,
+//!   pipelined dispatch, batched writes.
+//! * **Thread per connection** (`event_loop: false`, and always on
+//!   non-unix targets): one blocking handler thread per connection.
+//!
+//! Every stage polls a shared shutdown flag at its natural boundary — the
+//! accept loop between accepts, handlers/shards between frames, workers
+//! between jobs — so a SHUTDOWN op (or [`ServerHandle::shutdown`]) drains
+//! cleanly: in-flight requests finish, new frames are answered
+//! SHUTTING_DOWN, queued jobs execute, and [`ServerHandle::join`] returns
+//! only after every thread has exited.
 
 use crate::config::ServerConfig;
-use crate::engine::{Engine, Job, JobTrace};
+use crate::engine::{Engine, Job, JobTrace, Reply};
 use crate::obs::ServerObserver;
 use crate::protocol::{read_frame, write_frame, FrameRead, Op, Request, Response};
 use std::io::Write;
@@ -33,6 +43,11 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    /// Shard mailboxes, kicked on shutdown so event loops react
+    /// immediately instead of waiting out their poll timeout. Empty under
+    /// the thread-per-connection path.
+    #[cfg(unix)]
+    mailboxes: Vec<Arc<crate::shard::ShardMailbox>>,
 }
 
 impl ServerHandle {
@@ -44,6 +59,18 @@ impl ServerHandle {
     /// Starts a graceful shutdown without waiting for it to finish.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        #[cfg(unix)]
+        for mb in &self.mailboxes {
+            mb.kick();
+        }
+    }
+
+    /// True once a shutdown has been requested (SHUTDOWN op, SIGTERM
+    /// watcher, or [`ServerHandle::shutdown`]); drain may still be in
+    /// progress. Lets a supervising loop poll for exit without consuming
+    /// the handle.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
     }
 
     /// Blocks until the server has fully drained and every thread exited.
@@ -57,7 +84,7 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shutdown();
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -92,14 +119,28 @@ pub fn serve(
         config.workers,
         config.queue_depth,
     );
+    #[cfg(unix)]
+    let event_loop = config.event_loop;
+    #[cfg(not(unix))]
+    let event_loop = false;
     obs.events.emit(
         "server.start",
         &[
             ("addr", Json::Str(addr.to_string())),
             ("workers", Json::U64(config.workers as u64)),
             ("queue_depth", Json::U64(config.queue_depth as u64)),
+            (
+                "mode",
+                Json::Str(if event_loop { "event_loop".into() } else { "threads".into() }),
+            ),
+            ("shards", Json::U64(if event_loop { config.shards.max(1) as u64 } else { 0 })),
         ],
     );
+
+    #[cfg(unix)]
+    if event_loop {
+        return serve_event_loop(listener, addr, config, store, obs, shutdown, engine, started);
+    }
 
     let accept_thread = {
         let shutdown = Arc::clone(&shutdown);
@@ -111,26 +152,118 @@ pub fn serve(
             })?
     };
 
-    Ok(ServerHandle { addr, shutdown, accept_thread: Some(accept_thread) })
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        #[cfg(unix)]
+        mailboxes: Vec::new(),
+    })
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    config: &ServerConfig,
+/// Spawns the event-loop serving path: `config.shards` shard threads plus
+/// one acceptor distributing connections round-robin by mailbox.
+#[cfg(unix)]
+#[allow(clippy::too_many_arguments)]
+fn serve_event_loop(
+    listener: TcpListener,
+    addr: SocketAddr,
+    config: ServerConfig,
+    store: Arc<ArchivalStore>,
+    obs: Arc<ServerObserver>,
+    shutdown: Arc<AtomicBool>,
     engine: Engine,
+    started: Instant,
+) -> std::io::Result<ServerHandle> {
+    use crate::obs::LoopStats;
+    use crate::shard::{run_shard, ShardContext, ShardMailbox};
+
+    let engine = Arc::new(engine);
+    let active = Arc::new(AtomicI64::new(0));
+    let nshards = config.shards.max(1);
+    let mut mailboxes = Vec::with_capacity(nshards);
+    let mut all_stats = Vec::with_capacity(nshards);
+    let mut shard_threads = Vec::with_capacity(nshards);
+    for i in 0..nshards {
+        let mailbox = ShardMailbox::new();
+        let stats = Arc::new(LoopStats::new());
+        let ctx = ShardContext {
+            dispatcher: Arc::clone(&engine),
+            obs: Arc::clone(&obs),
+            stats: Arc::clone(&stats),
+            mailbox: Arc::clone(&mailbox),
+            shutdown: Arc::clone(&shutdown),
+            active: Arc::clone(&active),
+            default_deadline_ms: config.default_deadline_ms,
+            slow_request_us: config.slow_request_us,
+            poll_interval_ms: config.poll_interval_ms,
+            max_inflight_per_conn: config.max_inflight_per_conn.max(1),
+        };
+        shard_threads.push(
+            thread::Builder::new()
+                .name(format!("tornado-shard-{i}"))
+                .spawn(move || run_shard(ctx))?,
+        );
+        mailboxes.push(mailbox);
+        all_stats.push(stats);
+    }
+    obs.install_loop_shards(all_stats);
+
+    let accept_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        let obs = Arc::clone(&obs);
+        let mailboxes = mailboxes.clone();
+        thread::Builder::new().name("tornado-accept".into()).spawn(move || {
+            let sampler = spawn_sampler(&config, &shutdown, &obs, &store, started);
+            let poll = Duration::from_millis(config.poll_interval_ms.max(1));
+            let mut next = 0usize;
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        obs.connections_opened.inc();
+                        obs.connections_active.set(active.fetch_add(1, Ordering::SeqCst) + 1);
+                        mailboxes[next].adopt(stream);
+                        next = (next + 1) % mailboxes.len();
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(poll),
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => thread::sleep(poll),
+                }
+            }
+            // Drain: wake every shard so it starts answering buffered
+            // frames SHUTTING_DOWN and finishing in-flight work, then join
+            // them, the sampler, and finally the worker pool.
+            for mb in &mailboxes {
+                mb.kick();
+            }
+            for t in shard_threads {
+                let _ = t.join();
+            }
+            if let Some(s) = sampler {
+                let _ = s.join();
+            }
+            Arc::try_unwrap(engine)
+                .unwrap_or_else(|_| unreachable!("all shard dispatchers joined"))
+                .shutdown();
+            obs.events.emit("server.stop", &[]);
+            obs.events.flush();
+        })?
+    };
+
+    Ok(ServerHandle { addr, shutdown, accept_thread: Some(accept_thread), mailboxes })
+}
+
+/// Spawns the periodic time-series sampler (shared by both serving
+/// paths): cumulative counters every interval, so METRICS consumers can
+/// compute windowed rates. Doubles as the durability observatory's clock.
+fn spawn_sampler(
+    config: &ServerConfig,
     shutdown: &Arc<AtomicBool>,
     obs: &Arc<ServerObserver>,
     store: &Arc<ArchivalStore>,
     started: Instant,
-) {
-    let engine = Arc::new(engine);
-    let active = Arc::new(AtomicI64::new(0));
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    let poll = Duration::from_millis(config.poll_interval_ms.max(1));
-    // Periodic time-series sampler: cumulative counters every interval,
-    // so METRICS consumers can compute windowed rates. Joined at drain so
-    // it never outlives the observer's useful life.
-    let sampler = (config.timeseries_interval_ms > 0).then(|| {
+) -> Option<JoinHandle<()>> {
+    (config.timeseries_interval_ms > 0).then(|| {
         let shutdown = Arc::clone(shutdown);
         let obs = Arc::clone(obs);
         let store = Arc::clone(store);
@@ -158,7 +291,24 @@ fn accept_loop(
                 }
             })
             .expect("spawn timeseries sampler")
-    });
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    config: &ServerConfig,
+    engine: Engine,
+    shutdown: &Arc<AtomicBool>,
+    obs: &Arc<ServerObserver>,
+    store: &Arc<ArchivalStore>,
+    started: Instant,
+) {
+    let engine = Arc::new(engine);
+    let active = Arc::new(AtomicI64::new(0));
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let poll = Duration::from_millis(config.poll_interval_ms.max(1));
+    // Joined at drain so it never outlives the observer's useful life.
+    let sampler = spawn_sampler(config, shutdown, obs, store, started);
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, peer)) => {
@@ -247,16 +397,20 @@ fn handle_connection(
             }
         };
         let decode_us = req_start.elapsed().as_micros() as u64;
+        // The serial discipline answers in order either way, but a
+        // correlated request gets its id echoed so pipelined clients can
+        // also talk to the legacy path.
+        let corr = request.corr_id;
 
         if matches!(request.op, Op::Shutdown) {
             shutdown.store(true, Ordering::SeqCst);
             obs.admin.inc();
             obs.events.emit("server.shutdown_requested", &[]);
-            let _ = reply(&mut stream, &Response::Ok);
+            let _ = reply_corr(&mut stream, corr, &Response::Ok);
             return;
         }
         if shutdown.load(Ordering::SeqCst) {
-            let _ = reply(&mut stream, &Response::ShuttingDown);
+            let _ = reply_corr(&mut stream, corr, &Response::ShuttingDown);
             return;
         }
 
@@ -299,7 +453,7 @@ fn handle_connection(
         });
         let response = match engine.submit(Job {
             request,
-            reply: tx,
+            reply: Reply::Channel(tx),
             accepted_at,
             deadline,
             trace: job_trace,
@@ -311,7 +465,7 @@ fn handle_connection(
             },
             Err(rejection) => rejection,
         };
-        let keep = reply(&mut stream, &response);
+        let keep = reply_corr(&mut stream, corr, &response);
 
         // Root span last: every child is already recorded, so the root's
         // window (decode start → reply written) encloses them all.
@@ -341,8 +495,9 @@ fn handle_connection(
 
 /// Emits a `server.slow_request` event; when the request was sampled the
 /// event carries its full span tree (name/span/parent/start/duration), so
-/// the slow path is diagnosable straight from the event stream.
-fn emit_slow_request(
+/// the slow path is diagnosable straight from the event stream. Shared by
+/// the threaded handler and the event-loop shards.
+pub(crate) fn emit_slow_request(
     obs: &ServerObserver,
     trace_id: u64,
     op_kind: &str,
@@ -383,4 +538,10 @@ fn emit_slow_request(
 /// Writes one response frame; `false` means the connection is dead.
 fn reply(stream: &mut impl Write, response: &Response) -> bool {
     write_frame(stream, &response.encode()).is_ok()
+}
+
+/// Like [`reply`], echoing the request's correlation id when it carried
+/// one (byte-identical to [`reply`] when it did not).
+fn reply_corr(stream: &mut impl Write, corr: Option<u32>, response: &Response) -> bool {
+    write_frame(stream, &response.encode_corr(corr)).is_ok()
 }

@@ -603,3 +603,132 @@ fn health_op_reports_conditional_risk_that_matches_offline_analysis() {
     client.shutdown().unwrap();
     handle.join();
 }
+
+/// The devices the mid-run injector fails — within catalog graph 1's
+/// certified tolerance (survives ANY four losses), so every read must
+/// still verify.
+const TOLERATED_FAILURES: [u32; 4] = [7, 29, 55, 88];
+
+#[test]
+fn pipelined_gets_complete_byte_for_byte_under_device_failures() {
+    use tornado_server::PipelinedClient;
+
+    let (handle, addr) = start_server(3, 32);
+    let mut writer = Client::connect(&addr).unwrap();
+
+    // Mixed sizes so decode work per GET differs wildly — the engine's
+    // worker pool finishes them out of submission order.
+    let mut objects = Vec::new();
+    for i in 0..10u64 {
+        let len = if i % 2 == 0 { 48_000 } else { 900 };
+        let payload: Vec<u8> = (0..len).map(|j| ((i * 131 + j as u64 * 7) % 251) as u8).collect();
+        let id = writer.put(&format!("ooo-{i}"), &payload).unwrap();
+        objects.push((id, payload));
+    }
+
+    let mut pipelined = PipelinedClient::connect(&addr).unwrap();
+    let mut expected = std::collections::HashMap::new();
+
+    // First wave in flight...
+    for (id, payload) in &objects {
+        let corr = pipelined.submit(Op::Get { id: *id }).unwrap();
+        expected.insert(corr, payload.clone());
+    }
+    // ...devices die mid-run on a separate admin connection...
+    let mut admin = Client::connect(&addr).unwrap();
+    for d in TOLERATED_FAILURES {
+        admin.fail_device(d).unwrap();
+    }
+    // ...second wave reads through the failures.
+    for (id, payload) in &objects {
+        let corr = pipelined.submit(Op::Get { id: *id }).unwrap();
+        expected.insert(corr, payload.clone());
+    }
+
+    while pipelined.inflight() > 0 {
+        let (corr, resp) = pipelined.recv().unwrap();
+        let want = expected.remove(&corr).expect("response corr matches a submitted GET");
+        match resp {
+            Response::GetOk { payload } => {
+                assert_eq!(payload, want, "GET corr {corr} must verify byte-for-byte");
+            }
+            other => panic!("GET corr {corr} answered {:?}", other.kind()),
+        }
+    }
+    assert!(expected.is_empty(), "every submitted GET completed");
+
+    // The failures really happened: reads past this point are degraded.
+    let metrics = admin.metrics().unwrap();
+    let doc = tornado_obs::json::parse(&metrics).unwrap();
+    let failed = doc
+        .get("gauges")
+        .and_then(|g| g.get("device.offline"))
+        .and_then(tornado_obs::Json::as_u64)
+        .unwrap_or(0);
+    assert_eq!(failed, TOLERATED_FAILURES.len() as u64);
+
+    admin.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn pipelined_client_degrades_gracefully_against_thread_per_conn_server() {
+    use tornado_server::PipelinedClient;
+
+    // The legacy serving path answers in order but echoes correlation
+    // ids, so a pipelined client still matches its completions.
+    let cfg = ServerConfig { workers: 2, queue_depth: 16, event_loop: false, ..ServerConfig::default() };
+    let (handle, addr) = start_server_with(cfg, ServerObserver::shared());
+
+    let mut legacy = Client::connect(&addr).unwrap();
+    let payload: Vec<u8> = (0..5_000u32).map(|i| (i % 241) as u8).collect();
+    let id = legacy.put("threaded/one", &payload).unwrap();
+
+    let mut pipelined = PipelinedClient::connect(&addr).unwrap();
+    let mut corrs = Vec::new();
+    for _ in 0..5 {
+        corrs.push(pipelined.submit(Op::Get { id }).unwrap());
+    }
+    for want in corrs {
+        let (corr, resp) = pipelined.recv().unwrap();
+        assert_eq!(corr, want, "serial path answers in submission order");
+        match resp {
+            Response::GetOk { payload: got } => assert_eq!(got, payload),
+            other => panic!("GET answered {:?}", other.kind()),
+        }
+    }
+
+    legacy.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn pipelined_open_loop_load_survives_device_failures() {
+    let (handle, addr) = start_server(3, 48);
+    let report = load::run_load(&LoadConfig {
+        addr: addr.clone(),
+        connections: 2,
+        duration_ms: 1_500,
+        seed: 11,
+        pipeline_depth: 8,
+        rate_ops_per_sec: 400.0,
+        prefill: 6,
+        payload_min: 1 << 10,
+        payload_max: 16 << 10,
+        fail_devices: TOLERATED_FAILURES.to_vec(),
+        fail_after_ms: 300,
+        fail_spacing_ms: 30,
+        trace_sample: 0,
+        ..LoadConfig::default()
+    })
+    .unwrap();
+
+    assert!(report.ops > 0, "pipelined open-loop run made progress");
+    assert_eq!(report.payload_mismatches, 0, "reads through 4 failures stay byte-perfect");
+    assert_eq!(report.unrecoverable, 0, "4 failures are within certified tolerance");
+    assert_eq!(report.devices_failed, TOLERATED_FAILURES.to_vec());
+
+    let mut admin = Client::connect(&addr).unwrap();
+    admin.shutdown().unwrap();
+    handle.join();
+}
